@@ -1,0 +1,148 @@
+// Command flashsim inspects the simulated devices: it lists the calibrated
+// profiles, or runs an arbitrary write pattern against one and reports
+// throughput, write amplification, and wear — a small fio-plus-smartctl for
+// the simulation stack.
+//
+// Usage:
+//
+//	flashsim -list
+//	flashsim -device "eMMC 16GB" [-scale N] [-req 4096] [-seq] [-gib 8] [-fill 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/device"
+	"flashwear/internal/ftl"
+	"flashwear/internal/report"
+	"flashwear/internal/simclock"
+	"flashwear/internal/trace"
+	"flashwear/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the calibrated device profiles")
+	name := flag.String("device", "eMMC 8GB", "device profile to simulate")
+	scale := flag.Int64("scale", 256, "device capacity divisor")
+	req := flag.Int64("req", 4096, "request size in bytes")
+	seq := flag.Bool("seq", false, "sequential instead of random writes")
+	gib := flag.Float64("gib", 4, "host GiB to write (at simulation scale)")
+	fill := flag.Float64("fill", 0, "pre-fill this fraction of the device with static data")
+	record := flag.String("record", "", "record the I/O trace to this file")
+	replay := flag.String("replay", "", "replay a recorded trace instead of generating a pattern")
+	flag.Parse()
+
+	if *list {
+		tbl := report.NewTable("Calibrated device profiles (§4.1)",
+			"Name", "Kind", "Capacity", "Cell", "Rated P/E", "Parallelism", "Hybrid")
+		for _, p := range device.AllProfiles() {
+			hybrid := "-"
+			if p.Hybrid != nil {
+				hybrid = report.HumanBytes(p.Hybrid.CacheBytes) + " SLC"
+			}
+			tbl.AddRow(p.Name, p.Kind.String(), report.HumanBytes(p.CapacityBytes),
+				p.Cell.String(), p.RatedPE, p.Parallelism, hybrid)
+		}
+		tbl.Render(os.Stdout)
+		return
+	}
+
+	prof, err := device.ProfileByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashsim:", err)
+		os.Exit(1)
+	}
+	clock := simclock.New()
+	dev, err := device.New(prof.Scaled(*scale), clock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashsim:", err)
+		os.Exit(1)
+	}
+	if *fill > 0 {
+		if _, err := workload.FillDevice(dev, *fill); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim: fill:", err)
+			os.Exit(1)
+		}
+	}
+
+	var target blockdev.Device = dev
+	var recorder *trace.Recorder
+	if *record != "" {
+		recorder = trace.NewRecorder(dev, clock)
+		target = recorder
+	}
+
+	start := clock.Now()
+	var written int64
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(1)
+		}
+		events, err := trace.Read(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(1)
+		}
+		st, err := trace.Replay(target, clock, events, trace.ReplayOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim: replay:", err)
+		}
+		written = st.BytesWritten
+		fmt.Printf("Replayed %d events (%d errors)\n", st.Events, st.Errors)
+	} else {
+		w := workload.NewDeviceWriter(target, *req, *seq, 1)
+		total := int64(*gib * float64(1<<30))
+		for written < total {
+			n, err := w.Step(4 << 20)
+			written += n
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flashsim: device failed after %s: %v\n",
+					report.HumanBytes(written), err)
+				break
+			}
+		}
+	}
+	elapsed := clock.Now() - start
+
+	if recorder != nil {
+		out, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(1)
+		}
+		if err := trace.Write(out, recorder.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim: trace:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(recorder.Events()), *record)
+	}
+
+	f := dev.FTL()
+	fmt.Printf("Device: %s (scaled /%d: %s exported)\n", prof.Name, *scale, report.HumanBytes(dev.Size()))
+	fmt.Printf("Pattern: %s, %s requests\n",
+		map[bool]string{true: "sequential", false: "random"}[*seq], report.SizeLabel(*req))
+	fmt.Printf("Wrote %s in %.2f simulated s -> %.2f MiB/s\n",
+		report.HumanBytes(written), elapsed.Seconds(),
+		float64(written)/elapsed.Seconds()/(1<<20))
+	fmt.Printf("Write amplification: %.3f\n", f.WriteAmplification())
+	fmt.Printf("Utilisation: %.1f%%   GC copies: %d\n", f.Utilisation()*100, f.GCCopies())
+	fmt.Printf("Life consumed (Type B): %.2f%%   indicator: %d   PRE_EOL: %d\n",
+		f.LifeConsumed(ftl.PoolB)*100, dev.WearIndicator(ftl.PoolB), dev.PreEOLInfo())
+	if f.CacheChip() != nil {
+		fmt.Printf("Life consumed (Type A): %.2f%%   indicator: %d   merged: %v\n",
+			f.LifeConsumed(ftl.PoolA)*100, dev.WearIndicator(ftl.PoolA), f.Merged())
+	}
+	if dev.Bricked() {
+		fmt.Println("DEVICE BRICKED")
+	}
+}

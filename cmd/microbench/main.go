@@ -1,0 +1,53 @@
+// Command microbench regenerates Figure 1: synchronous write bandwidth
+// versus request size (0.5 KiB – 16 MiB), sequential and random, for the
+// five devices of §4.1.
+//
+// Usage:
+//
+//	microbench [-scale N] [-csv]
+//
+// With -csv the two panels are emitted as CSV series (one column per
+// device); otherwise an aligned table prints both patterns side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashwear/internal/experiments"
+	"flashwear/internal/report"
+)
+
+func main() {
+	scale := flag.Int64("scale", 256, "device capacity divisor (1 = full size, slow)")
+	csv := flag.Bool("csv", false, "emit CSV series instead of a table")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:    *scale,
+		Progress: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	}
+	points, err := experiments.Figure1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Println("# Figure 1a: sequential write bandwidth (MiB/s)")
+		report.RenderCSV(os.Stdout, experiments.Figure1Series(points, true)...)
+		fmt.Println()
+		fmt.Println("# Figure 1b: random write bandwidth (MiB/s)")
+		report.RenderCSV(os.Stdout, experiments.Figure1Series(points, false)...)
+		return
+	}
+
+	tbl := report.NewTable(
+		"Figure 1: write bandwidth by request size (MiB/s)",
+		"Device", "Req", "Sequential", "Random")
+	for _, p := range points {
+		tbl.AddRow(p.Device, report.SizeLabel(p.ReqBytes), p.SeqMiBps, p.RandMiBps)
+	}
+	tbl.Render(os.Stdout)
+}

@@ -1,0 +1,163 @@
+// Command weartest regenerates the paper's wear-out experiments:
+//
+//	weartest -fig 2        Figure 2: GiB per indicator increment, external chips
+//	weartest -fig 3        Figure 3: hours per increment, phones + chips
+//	weartest -fig 4        Figure 4: GiB per increment, Moto E ext4 vs F2FS
+//	weartest -table 1      Table 1: hybrid Type A/B wear across workload phases
+//	weartest -envelope     §2.3 vs §4.3: back-of-the-envelope vs measured
+//	weartest -budget       §4.4: BLU budget phones brick without indicators
+//
+// Each experiment runs on capacity-scaled devices (default -scale 256) and
+// reports results at full device scale; -maxlevel bounds how deep into the
+// device's lifetime the run goes (11 = to estimated end of life).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashwear/internal/experiments"
+	"flashwear/internal/ftl"
+	"flashwear/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2, 3, or 4)")
+	table := flag.Int("table", 0, "table to regenerate (1)")
+	envelope := flag.Bool("envelope", false, "compare envelope estimate vs measured")
+	budget := flag.Bool("budget", false, "run the BLU budget-phone bricking experiment")
+	scale := flag.Int64("scale", 256, "device capacity divisor (1 = full size, slow)")
+	maxLevel := flag.Int("maxlevel", 11, "stop once the Type B indicator reaches this level")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:    *scale,
+		MaxLevel: *maxLevel,
+		Progress: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	}
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "weartest:", err)
+		os.Exit(1)
+	}
+
+	switch *fig {
+	case 0:
+	case 2:
+		ran = true
+		runs, err := experiments.Figure2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		printWearRuns("Figure 2: I/O to increment the wear-out indicator", runs)
+	case 3:
+		ran = true
+		runs, err := experiments.Figure3(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tbl := report.NewTable(
+			"Figure 3: time to increment the wear-out indicator",
+			"Config", "Increment", "Hours", "Host GiB")
+		chart := report.NewBarChart("", "h/increment")
+		for _, r := range runs {
+			incs := r.Report.IncrementsFor(ftl.PoolB)
+			for _, inc := range incs {
+				tbl.AddRow(r.Label, fmt.Sprintf("%d-%d", inc.FromLevel, inc.ToLevel), inc.Hours, inc.HostGiB)
+			}
+			if len(incs) > 0 {
+				chart.Add(r.Label, incs[len(incs)-1].Hours)
+			}
+		}
+		tbl.Render(os.Stdout)
+		fmt.Println()
+		chart.Render(os.Stdout)
+	case 4:
+		ran = true
+		runs, err := experiments.Figure4(cfg)
+		if err != nil {
+			fail(err)
+		}
+		printWearRuns("Figure 4: I/O per increment, Moto E Ext4 vs F2FS", runs)
+	default:
+		fail(fmt.Errorf("unknown figure %d", *fig))
+	}
+
+	if *table == 1 {
+		ran = true
+		rep, err := experiments.Table1(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tbl := report.NewTable(
+			"Table 1: eMMC 16GB hybrid wear-out indicators over time",
+			"Pool", "Indic.", "I/O Vol (GiB)", "Time (h)", "I/O Pattern", "Space Util")
+		for _, inc := range rep.Increments {
+			tbl.AddRow(inc.Pool.String(),
+				fmt.Sprintf("%d-%d", inc.FromLevel, inc.ToLevel),
+				inc.HostGiB, inc.Hours, inc.Pattern,
+				fmt.Sprintf("%.0f%%", inc.SpaceUtil*100))
+		}
+		tbl.Render(os.Stdout)
+	} else if *table != 0 {
+		fail(fmt.Errorf("unknown table %d", *table))
+	}
+
+	if *envelope {
+		ran = true
+		runs, err := experiments.Figure2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		rows := experiments.EnvelopeComparison(runs, map[string]int64{
+			"eMMC 8GB":  8 << 30,
+			"eMMC 16GB": 16 << 30,
+		})
+		tbl := report.NewTable(
+			"Back-of-the-envelope (§2.3) vs measured (§4.3)",
+			"Device", "Envelope GiB/10%", "Measured GiB/10%", "Shortfall")
+		for _, r := range rows {
+			tbl.AddRow(r.Device, r.EnvelopeGiBPer, r.MeasuredGiBPer,
+				fmt.Sprintf("%.1fx", r.ShortfallFactor))
+		}
+		tbl.Render(os.Stdout)
+	}
+
+	if *budget {
+		ran = true
+		runs, err := experiments.BudgetPhones(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tbl := report.NewTable(
+			"Budget phones (§4.4): bricked without reliable indicators",
+			"Phone", "Days to brick", "Host GiB", "Indicator usable")
+		for _, r := range runs {
+			tbl.AddRow(r.Label, r.Days, r.HostGiB, r.IndicatorSeen)
+		}
+		tbl.Render(os.Stdout)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printWearRuns(title string, runs []experiments.WearRun) {
+	tbl := report.NewTable(title, "Device", "Increment", "Host GiB", "Hours", "WA")
+	for _, r := range runs {
+		for _, inc := range r.Report.IncrementsFor(ftl.PoolB) {
+			tbl.AddRow(r.Label, fmt.Sprintf("%d-%d", inc.FromLevel, inc.ToLevel),
+				inc.HostGiB, inc.Hours, r.Report.FinalWA)
+		}
+	}
+	tbl.Render(os.Stdout)
+	for _, r := range runs {
+		fmt.Printf("%s: mean %.0f GiB per increment, total %.0f GiB over %.0f h, bricked=%v\n",
+			r.Label, r.Report.MeanHostGiBPerIncrement(ftl.PoolB),
+			r.Report.TotalHostGiB, r.Report.TotalHours, r.Report.Bricked)
+	}
+}

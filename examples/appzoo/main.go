@@ -1,0 +1,42 @@
+// Appzoo: a realistic population of apps — a camera, a chat app, a system
+// updater, the Spotify cache bug the paper cites, and the deliberate wear
+// attack — living together on one phone while the §4.5 classifier watches.
+// The verdicts show the "refined approach" working: only the two harmful
+// writers are flagged.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flashwear/internal/experiments"
+	"flashwear/internal/report"
+)
+
+func main() {
+	rows, err := experiments.ClassifierEval(experiments.Config{
+		Scale:    1024,
+		Progress: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable(
+		"One simulated day on a phone: who would the OS throttle?",
+		"App", "Behaviour", "Wrote (MiB)", "Score", "Flagged")
+	desc := map[string]string{
+		"camera":      "bursty imports, hours apart",
+		"chat":        "tiny fsynced appends, nonstop",
+		"updater":     "one big download + rename",
+		"spotify-bug": "cache rewrite bug [26]",
+		"wear-attack": "the paper's §4.4 app",
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.App, desc[r.App], r.WrittenMiB, r.Score, r.Flagged)
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println("\nNote the Spotify bug: not malicious, just poorly written —")
+	fmt.Println("and indistinguishable from the attack at the storage layer,")
+	fmt.Println("which is exactly the paper's point about consumable resources.")
+}

@@ -1,0 +1,3 @@
+module flashwear
+
+go 1.22

@@ -1,0 +1,109 @@
+package android
+
+import (
+	"sort"
+	"time"
+)
+
+// IOStats is the per-app I/O accounting §4.5 proposes exposing "much like
+// the cellular data usage".
+type IOStats struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	SyncOps      int64
+}
+
+// PowerMonitor models Android's battery accounting: it attributes energy to
+// apps for their I/O, but — as §4.4 observes — only while the phone is on
+// battery. Running I/O while charging is therefore invisible to it.
+type PowerMonitor struct {
+	// JoulesPerGiB is the marginal energy the monitor attributes per GiB
+	// of app I/O while discharging.
+	JoulesPerGiB float64
+	onBattery    map[string]float64 // app -> joules attributed
+}
+
+// NewPowerMonitor returns a monitor with a typical eMMC energy cost.
+func NewPowerMonitor() *PowerMonitor {
+	return &PowerMonitor{JoulesPerGiB: 40, onBattery: make(map[string]float64)}
+}
+
+// RecordIO attributes I/O to an app; charging I/O is not recorded.
+func (m *PowerMonitor) RecordIO(app string, bytes int64, charging bool) {
+	if charging {
+		return
+	}
+	m.onBattery[app] += m.JoulesPerGiB * float64(bytes) / float64(1<<30)
+}
+
+// AttributedJoules returns the energy the monitor shows for an app.
+func (m *PowerMonitor) AttributedJoules(app string) float64 { return m.onBattery[app] }
+
+// TopConsumers returns apps exceeding the threshold, most expensive first —
+// the battery-stats screen a user would check.
+func (m *PowerMonitor) TopConsumers(thresholdJoules float64) []string {
+	var out []string
+	for app, j := range m.onBattery {
+		if j >= thresholdJoules {
+			out = append(out, app)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return m.onBattery[out[i]] > m.onBattery[out[j]] })
+	return out
+}
+
+// ProcessMonitor models the running-apps view: it refreshes roughly every
+// second, and only matters while the screen is on (nobody is looking
+// otherwise). An app that suspends its I/O whenever the screen lights up
+// evades it (§4.4).
+type ProcessMonitor struct {
+	// Window is the refresh interval (the paper observed ~1 second).
+	Window time.Duration
+	// lastIO tracks each app's most recent I/O timestamp.
+	lastIO map[string]time.Duration
+	// observed counts samples in which the app was visibly active.
+	observed map[string]int64
+	samples  int64
+}
+
+// NewProcessMonitor returns a monitor with the observed 1-second refresh.
+func NewProcessMonitor() *ProcessMonitor {
+	return &ProcessMonitor{
+		Window:   time.Second,
+		lastIO:   make(map[string]time.Duration),
+		observed: make(map[string]int64),
+	}
+}
+
+// NoteIO records that an app performed I/O at simulated time t.
+func (m *ProcessMonitor) NoteIO(app string, t time.Duration) { m.lastIO[app] = t }
+
+// Sample takes one refresh at simulated time t with the given screen state.
+func (m *ProcessMonitor) Sample(t time.Duration, screenOn bool) {
+	if !screenOn {
+		return
+	}
+	m.samples++
+	for app, last := range m.lastIO {
+		if t-last <= m.Window {
+			m.observed[app]++
+		}
+	}
+}
+
+// ObservedCount returns how many screen-on samples caught the app active.
+func (m *ProcessMonitor) ObservedCount(app string) int64 { return m.observed[app] }
+
+// Samples returns the number of screen-on refreshes taken.
+func (m *ProcessMonitor) Samples() int64 { return m.samples }
+
+// ObservedFraction returns the fraction of screen-on samples that caught
+// the app.
+func (m *ProcessMonitor) ObservedFraction(app string) float64 {
+	if m.samples == 0 {
+		return 0
+	}
+	return float64(m.observed[app]) / float64(m.samples)
+}

@@ -1,0 +1,75 @@
+// Package android models the pieces of a mobile OS that matter to the
+// paper's §4.4: per-app private storage reachable without any permissions,
+// a battery/charging schedule, a screen-state schedule, the two monitors a
+// malicious app must evade (the on-battery power monitor and the
+// screen-refresh process monitor), and per-app I/O accounting (the §4.5
+// mitigation).
+package android
+
+import (
+	"fmt"
+	"time"
+)
+
+// Day is one simulated day.
+const Day = 24 * time.Hour
+
+// Period is a daily time window [From, To) expressed as offsets from
+// midnight. From > To wraps around midnight.
+type Period struct {
+	From, To time.Duration
+}
+
+// Contains reports whether the time-of-day t falls in the period.
+func (p Period) Contains(t time.Duration) bool {
+	tod := t % Day
+	if p.From <= p.To {
+		return tod >= p.From && tod < p.To
+	}
+	return tod >= p.From || tod < p.To
+}
+
+// Schedule is a set of daily periods.
+type Schedule struct {
+	Periods []Period
+}
+
+// Active reports whether any period contains t.
+func (s Schedule) Active(t time.Duration) bool {
+	for _, p := range s.Periods {
+		if p.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks period bounds.
+func (s Schedule) Validate() error {
+	for _, p := range s.Periods {
+		if p.From < 0 || p.From >= Day || p.To < 0 || p.To > Day {
+			return fmt.Errorf("android: period %v-%v out of range", p.From, p.To)
+		}
+	}
+	return nil
+}
+
+// DefaultCharging returns a typical overnight charging schedule:
+// 22:00–07:00 — §4.4: "most phones spend a significant fraction of the day
+// charging with the screen disabled".
+func DefaultCharging() Schedule {
+	return Schedule{Periods: []Period{{From: 22 * time.Hour, To: 7 * time.Hour}}}
+}
+
+// DefaultScreen returns a typical screen-on schedule: 08:00–22:00.
+func DefaultScreen() Schedule {
+	return Schedule{Periods: []Period{{From: 8 * time.Hour, To: 22 * time.Hour}}}
+}
+
+// AlwaysOn returns a schedule active around the clock.
+func AlwaysOn() Schedule {
+	return Schedule{Periods: []Period{{From: 0, To: Day}}}
+}
+
+// Never returns an empty schedule.
+func Never() Schedule { return Schedule{} }

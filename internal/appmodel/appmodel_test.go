@@ -1,0 +1,124 @@
+package appmodel
+
+import (
+	"testing"
+	"time"
+
+	"flashwear/internal/android"
+	"flashwear/internal/device"
+	"flashwear/internal/simclock"
+)
+
+// testPhone boots a phone with per-app sandboxes for the models.
+func testPhone(t *testing.T) (*android.Phone, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New()
+	prof := device.ProfileMotoE8().Scaled(512)
+	phone, err := android.NewPhone(android.Config{Profile: prof, FS: android.FSExt4}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phone, clock
+}
+
+func install(t *testing.T, phone *android.Phone, name string) *android.App {
+	t.Helper()
+	app, err := phone.InstallApp(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestCameraBurstsThenIdles(t *testing.T) {
+	phone, clock := testPhone(t)
+	app := install(t, phone, "camera")
+	cam := NewCamera(app.Storage(), clock, 1)
+	cam.BurstBytes = 2 << 20
+	cam.PhotoBytes = 512 << 10
+	cam.Every = 6 * time.Hour
+	if err := cam.Step(13 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stats := phone.AppIOStats("camera")
+	// ~3 sessions in 13h at one per 6h (sessions bound the idle).
+	want := int64(3 * 2 << 20)
+	if stats.BytesWritten < want || stats.BytesWritten > want*2 {
+		t.Fatalf("camera wrote %d, want ~%d", stats.BytesWritten, want)
+	}
+	if cam.Name() != "camera" {
+		t.Fatal("name")
+	}
+}
+
+func TestChatIsTinyButPersistent(t *testing.T) {
+	phone, clock := testPhone(t)
+	app := install(t, phone, "chat")
+	chat := NewChat(app.Storage(), clock, 2)
+	if err := chat.Step(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	stats := phone.AppIOStats("chat")
+	// ~120 messages x 2 KiB plus occasional 64 KiB compactions.
+	if stats.BytesWritten < 200<<10 || stats.BytesWritten > 4<<20 {
+		t.Fatalf("chat wrote %d, want a few hundred KiB", stats.BytesWritten)
+	}
+	if stats.SyncOps < 100 {
+		t.Fatalf("chat synced %d times, want ~120", stats.SyncOps)
+	}
+}
+
+func TestUpdaterMonthlyAndAtomic(t *testing.T) {
+	phone, clock := testPhone(t)
+	app := install(t, phone, "updater")
+	up := NewUpdater(app.Storage(), clock, 3)
+	up.UpdateBytes = 4 << 20
+	if err := up.Step(31 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Storage().Stat("/update.pkg"); err != nil {
+		t.Fatalf("update package missing: %v", err)
+	}
+	if _, err := app.Storage().Stat("/update.pkg.tmp"); err == nil {
+		t.Fatal("temp file left behind after rename")
+	}
+	stats := phone.AppIOStats("updater")
+	if stats.BytesWritten < 4<<20 {
+		t.Fatalf("updater wrote %d", stats.BytesWritten)
+	}
+}
+
+func TestSpotifyBugWritesLikeAnAttack(t *testing.T) {
+	phone, clock := testPhone(t)
+	app := install(t, phone, "spotify")
+	bug := NewSpotifyBug(app.Storage(), clock, 4)
+	bug.CacheBytes = 4 << 20
+	if err := bug.Step(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stats := phone.AppIOStats("spotify")
+	// Continuous rewriting: far more volume than any benign app produces
+	// in ten minutes.
+	if stats.BytesWritten < 64<<20 {
+		t.Fatalf("spotify bug wrote only %d bytes in 10 minutes", stats.BytesWritten)
+	}
+}
+
+func TestModelsCoexistOnOnePhone(t *testing.T) {
+	phone, clock := testPhone(t)
+	cam := NewCamera(install(t, phone, "camera").Storage(), clock, 6)
+	cam.BurstBytes = 2 << 20 // fit the scaled 16 MiB device
+	cam.PhotoBytes = 512 << 10
+	models := []Model{
+		NewChat(install(t, phone, "chat").Storage(), clock, 5),
+		cam,
+	}
+	for _, m := range models {
+		if err := m.Step(time.Hour); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+	if phone.AppIOStats("chat").BytesWritten == 0 || phone.AppIOStats("camera").BytesWritten == 0 {
+		t.Fatal("a model produced no I/O")
+	}
+}

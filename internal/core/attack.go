@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flashwear/internal/android"
+	"flashwear/internal/device"
+	"flashwear/internal/fs"
+	"flashwear/internal/ftl"
+	"flashwear/internal/workload"
+)
+
+// AttackMode selects how the malicious app schedules its I/O.
+type AttackMode int
+
+const (
+	// Continuous writes around the clock — fastest, but visible to the
+	// power monitor and the running-apps view.
+	Continuous AttackMode = iota
+	// Stealth runs only while the phone is charging with the screen off,
+	// evading both monitors (§4.4 "Detection"). Both signals are
+	// observable by an unprivileged app.
+	Stealth
+)
+
+// String implements fmt.Stringer.
+func (m AttackMode) String() string {
+	if m == Stealth {
+		return "stealth"
+	}
+	return "continuous"
+}
+
+// Attack is the paper's 963-LoC malicious app: it continuously rewrites
+// 100 MB files in its private storage area, requiring no permissions, until
+// the phone's flash is destroyed.
+type Attack struct {
+	App *android.App
+	// Mode selects continuous or stealth scheduling.
+	Mode AttackMode
+	// NumFiles and FileSize shape the file set (defaults: 4 x 100 MiB,
+	// divided by Scale).
+	NumFiles int
+	FileSize int64
+	// ReqBytes is the rewrite size (default 4 KiB).
+	ReqBytes int64
+	// SyncEvery issues fsync after this many writes (default 1).
+	SyncEvery int
+	// Scale is the device profile's capacity divisor, applied to the
+	// file sizes and used to rescale reported volumes/times.
+	Scale int64
+	// IdleStep is how far the app sleeps when stealth keeps it idle.
+	IdleStep time.Duration
+
+	set *workload.FileSet
+}
+
+// AttackReport summarises an attack run at full device scale.
+type AttackReport struct {
+	Mode    AttackMode
+	Bricked bool
+	HostGiB float64
+	// ActiveHours is the I/O time the attack needed (full scale).
+	ActiveHours float64
+	// DutyCycle is the fraction of the day the attack may run (1 for
+	// continuous; the charging∧screen-off window for stealth).
+	DutyCycle float64
+	// Hours is the wall-clock duration: active time stretched over the
+	// duty cycle — §4.4's "within some reasonable factor of the time".
+	Hours        float64
+	Increments   []Increment
+	FinalPreEOL  int
+	FootprintPct float64 // file-set share of device capacity (<3% in §1)
+	// Detection outcomes (§4.4).
+	PowerJoulesAttributed float64
+	ProcessObservedCount  int64
+}
+
+// NewAttack returns an attack with the paper's parameters for a profile at
+// the given scale.
+func NewAttack(app *android.App, mode AttackMode, scale int64) *Attack {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Attack{
+		App: app, Mode: mode,
+		NumFiles: 4, FileSize: 100 << 20 / scale,
+		ReqBytes: 4096, SyncEvery: 1,
+		Scale: scale, IdleStep: time.Minute,
+	}
+}
+
+// active reports whether the attack should issue I/O right now.
+func (a *Attack) active() bool {
+	if a.Mode == Continuous {
+		return true
+	}
+	return a.App.Charging() && !a.App.ScreenOn()
+}
+
+// Run drives the attack until the phone bricks or maxSim simulated
+// (scaled) time passes. The phone's clock advances through device service
+// times and stealth idling.
+func (a *Attack) Run(phone *android.Phone, maxSim time.Duration) (AttackReport, error) {
+	if a.FileSize < a.ReqBytes {
+		return AttackReport{}, fmt.Errorf("core: attack file size %d < request size %d", a.FileSize, a.ReqBytes)
+	}
+	clockStart := phone.Clock()
+	// A stealthy app defers even its setup I/O to the invisible window.
+	for a.Mode == Stealth && !a.active() {
+		clockStart.Advance(a.IdleStep)
+	}
+	a.set = workload.NewFileSet(a.App.Storage(), "/wear", a.FileSize, 77)
+	a.set.NumFiles = a.NumFiles
+	a.set.ReqBytes = a.ReqBytes
+	a.set.SyncEvery = a.SyncEvery
+	if err := a.set.Setup(); err != nil {
+		return AttackReport{}, fmt.Errorf("core: attack setup: %w", err)
+	}
+
+	clock := phone.Clock()
+	runner := NewRunner(phone.Device(), clock, a.Scale)
+	runner.Pattern = fmt.Sprintf("%d KiB rand rewrite (%s)", a.ReqBytes/1024, a.Mode)
+	runner.SpaceUtil = phone.Device().FTL().Utilisation()
+
+	deadline := clock.Now() + maxSim
+	var activeSim time.Duration
+	step := func(budget int64) (int64, error) {
+		if clock.Now() >= deadline {
+			return 0, errDeadline
+		}
+		if !a.active() {
+			clock.Advance(a.IdleStep)
+			return 0, nil
+		}
+		before := clock.Now()
+		n, err := a.set.Step(budget)
+		activeSim += clock.Now() - before
+		return n, err
+	}
+	err := runner.RunPhase(step, 0, func() bool { return clock.Now() >= deadline })
+	if err != nil && !errors.Is(err, errDeadline) && !isStorageDeath(err) {
+		return AttackReport{}, err
+	}
+	rep := runner.Report()
+	if isStorageDeath(err) {
+		rep.Bricked = true
+	}
+	duty := a.dutyCycle(phone)
+	active := activeSim.Hours() * float64(a.Scale)
+	return AttackReport{
+		Mode:                  a.Mode,
+		Bricked:               rep.Bricked,
+		HostGiB:               rep.TotalHostGiB,
+		ActiveHours:           active,
+		DutyCycle:             duty,
+		Hours:                 active / duty,
+		Increments:            rep.Increments,
+		FinalPreEOL:           phone.Device().PreEOLInfo(),
+		FootprintPct:          100 * float64(a.set.TotalBytes()) / float64(phone.Device().Size()),
+		PowerJoulesAttributed: phone.PowerMonitor().AttributedJoules(a.App.Name()),
+		ProcessObservedCount:  phone.ProcessMonitor().ObservedCount(a.App.Name()),
+	}, nil
+}
+
+// dutyCycle returns the fraction of a day the attack may run, sampled at
+// one-minute resolution from the phone's schedules.
+func (a *Attack) dutyCycle(phone *android.Phone) float64 {
+	if a.Mode == Continuous {
+		return 1
+	}
+	activeMinutes := 0
+	for m := 0; m < 24*60; m++ {
+		t := time.Duration(m) * time.Minute
+		if phone.ChargingAt(t) && !phone.ScreenOnAt(t) {
+			activeMinutes++
+		}
+	}
+	if activeMinutes == 0 {
+		return 1.0 / (24 * 60) // degenerate schedule: effectively never
+	}
+	return float64(activeMinutes) / (24 * 60)
+}
+
+var errDeadline = errors.New("core: simulation deadline reached")
+
+// isStorageDeath reports whether an error chain means the storage died —
+// the attack's success condition. On a dying FS the failure can surface as
+// any write/sync error wrapping the device/FTL brick errors, or as FS-level
+// no-space once the FTL loses too many blocks.
+func isStorageDeath(err error) bool {
+	return errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked) ||
+		errors.Is(err, ftl.ErrUnreadable) || errors.Is(err, fs.ErrNoSpace)
+}

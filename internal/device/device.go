@@ -1,0 +1,384 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/ftl"
+	"flashwear/internal/nand"
+	"flashwear/internal/simclock"
+)
+
+// ErrBricked is returned once the device has failed permanently.
+var ErrBricked = errors.New("device: bricked")
+
+// Device is a complete simulated storage device: FTL + chips + controller
+// timing. It implements blockdev.Device and advances the simulated clock by
+// each request's service time, so elapsed simulated time divided into bytes
+// moved gives the bandwidths of Figure 1 and the hours of Figure 3/Table 1.
+type Device struct {
+	prof  Profile
+	f     *ftl.FTL
+	clock *simclock.Clock
+	rng   *rand.Rand
+
+	pageSize int
+	sector   int
+	busy     time.Duration
+
+	// Block-mapped (MicroSD) append tracking per allocation unit.
+	auAppend map[int64]int64
+
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// New builds a device from a profile on the given clock.
+func New(prof Profile, clock *simclock.Clock) (*Device, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = simclock.New()
+	}
+	now := clock.Now
+	mainCfg := nand.Config{
+		Geometry: prof.geometry(prof.CapacityBytes),
+		Cell:     prof.Cell,
+		RatedPE:  prof.RatedPE,
+		Seed:     prof.Seed,
+		Now:      now,
+	}
+	t := prof.timing()
+	mainCfg.Timing = &t
+	if prof.HealPerIdleHour > 0 {
+		em := nand.DefaultErrorModel()
+		em.HealPerIdleHour = prof.HealPerIdleHour
+		mainCfg.Errors = &em
+	}
+	fcfg := ftl.Config{
+		MainChip:        mainCfg,
+		OverProvision:   prof.OverProvision,
+		FirmwareRatedPE: prof.FirmwareRatedPE,
+	}
+	if !prof.WearLeveling {
+		fcfg.Wear = &ftl.WearLeveling{Dynamic: false, Static: false, StaticThreshold: 1 << 30, StaticInterval: 1 << 30}
+	}
+	if prof.Hybrid != nil {
+		h := prof.Hybrid
+		cacheTiming := nand.DefaultTiming(nand.SLC)
+		fcfg.Hybrid = &ftl.HybridConfig{
+			CacheChip: nand.Config{
+				Geometry: cacheGeometry(prof, h.CacheBytes),
+				Cell:     nand.SLC,
+				RatedPE:  h.CacheRatedPE,
+				Seed:     prof.Seed + 1,
+				Now:      now,
+				Timing:   &cacheTiming,
+			},
+			RouteMaxBytes:    h.RouteMaxBytes,
+			DrainRatio:       h.DrainRatio,
+			MergeUtilisation: h.MergeUtilisation,
+		}
+	}
+	f, err := ftl.New(fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("device %s: %w", prof.Name, err)
+	}
+	return &Device{
+		prof:     prof,
+		f:        f,
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(prof.Seed + 7)),
+		pageSize: f.PageSize(),
+		sector:   512,
+		auAppend: make(map[int64]int64),
+	}, nil
+}
+
+// cacheGeometry derives the Type A chip geometry.
+func cacheGeometry(p Profile, capBytes int64) nand.Geometry {
+	blockBytes := int64(p.PageSize) * int64(p.PagesPerBlock)
+	blocks := int(capBytes / blockBytes)
+	if blocks < 4 {
+		blocks = 4
+	}
+	return nand.Geometry{
+		Dies: 1, PlanesPerDie: 1, BlocksPerPlane: blocks,
+		PagesPerBlock: p.PagesPerBlock, PageSize: p.PageSize, SpareSize: p.PageSize / 32,
+	}
+}
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// FTL exposes the translation layer for wear inspection.
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Clock returns the device's simulated clock.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// Size implements blockdev.Device; it reports the exported capacity.
+func (d *Device) Size() int64 { return d.f.Capacity() }
+
+// SectorSize implements blockdev.Device.
+func (d *Device) SectorSize() int { return d.sector }
+
+// Bricked reports whether the device has failed permanently.
+func (d *Device) Bricked() bool { return d.f.Bricked() }
+
+// BytesWritten returns total host bytes written to the device.
+func (d *Device) BytesWritten() int64 { return d.bytesWritten }
+
+// BytesRead returns total host bytes read.
+func (d *Device) BytesRead() int64 { return d.bytesRead }
+
+// BusyTime returns the cumulative service time of all requests.
+func (d *Device) BusyTime() time.Duration { return d.busy }
+
+// WearIndicator reads the JEDEC life-time estimate register for a pool. On
+// profiles flagged UnreliableIndicator (the BLU phones) it returns an
+// arbitrary stuck-or-garbage value, like the real parts did.
+func (d *Device) WearIndicator(pool ftl.PoolID) int {
+	if d.prof.UnreliableIndicator {
+		// Garbage: some parts return 0, some a random constant.
+		return int(d.rng.Int31n(13)) // 0..12, often out of spec
+	}
+	return d.f.WearIndicator(pool)
+}
+
+// PreEOLInfo reads the JEDEC PRE_EOL_INFO register (1=normal, 2=warning,
+// 3=urgent), subject to the same unreliability flag.
+func (d *Device) PreEOLInfo() int {
+	if d.prof.UnreliableIndicator {
+		return 0 // out-of-spec "not defined"
+	}
+	return d.f.PreEOLInfo()
+}
+
+// serviceTime converts raw flash work plus a transfer into request latency.
+// Sustained pipelining spreads page operations across the controller's
+// parallel planes, and the host transfer overlaps the flash work (the
+// controller streams into its page buffers), so the slower of the two
+// dominates — which is what lets Figure 1's curves plateau at
+// min(interface, array) bandwidth.
+func (d *Device) serviceTime(cost ftl.Cost, transfer int64) time.Duration {
+	t := d.prof.timing()
+	w := time.Duration(d.prof.Parallelism)
+	xfer := time.Duration(float64(transfer) / (d.prof.InterfaceMBps * 1e6) * float64(time.Second))
+	flash := time.Duration(cost.Programs)*t.ProgramPage/w +
+		time.Duration(cost.Reads)*t.ReadPage/w +
+		time.Duration(cost.Erases)*t.EraseBlock/w
+	svc := d.prof.CmdOverhead
+	if xfer > flash {
+		svc += xfer
+	} else {
+		svc += flash
+	}
+	return svc
+}
+
+func (d *Device) advance(cost ftl.Cost, transfer int64) {
+	svc := d.serviceTime(cost, transfer)
+	d.busy += svc
+	d.clock.Advance(svc)
+}
+
+// pageRange returns the first page, last page (inclusive) of a byte range.
+func (d *Device) pageRange(off, length int64) (first, last int64) {
+	return off / int64(d.pageSize), (off + length - 1) / int64(d.pageSize)
+}
+
+// ReadAt implements blockdev.Device.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	if err := blockdev.CheckRange(d, off, int64(len(p))); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	var total ftl.Cost
+	first, last := d.pageRange(off, int64(len(p)))
+	for pg := first; pg <= last; pg++ {
+		data, cost, err := d.f.ReadPage(int(pg))
+		total.Add(cost)
+		if err != nil {
+			d.advance(total, 0)
+			return err
+		}
+		pageStart := pg * int64(d.pageSize)
+		from := max64(off, pageStart)
+		to := min64(off+int64(len(p)), pageStart+int64(d.pageSize))
+		dst := p[from-off : to-off]
+		if data == nil {
+			clear(dst)
+		} else {
+			copy(dst, data[from-pageStart:to-pageStart])
+		}
+	}
+	d.bytesRead += int64(len(p))
+	d.advance(total, int64(len(p)))
+	return nil
+}
+
+// WriteAt implements blockdev.Device.
+func (d *Device) WriteAt(p []byte, off int64) error {
+	return d.write(off, int64(len(p)), p)
+}
+
+// WriteAccounted implements blockdev.Device.
+func (d *Device) WriteAccounted(off, length int64) error {
+	return d.write(off, length, nil)
+}
+
+func (d *Device) write(off, length int64, payload []byte) error {
+	if err := blockdev.CheckRange(d, off, length); err != nil {
+		return err
+	}
+	if length == 0 {
+		return nil
+	}
+	if d.f.Bricked() {
+		return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
+	}
+	var total ftl.Cost
+	// Block-mapped MicroSD penalty: a write that is not appending within
+	// its allocation unit costs a whole-AU copy (read+program of every
+	// page in the AU). This is controller time, not array wear, and it is
+	// why Figure 1b's uSD random-write curve collapses.
+	if d.prof.AllocationUnit > 0 {
+		total.Add(d.usdPenalty(off, length))
+	}
+
+	reqBytes := int(length)
+	first, last := d.pageRange(off, length)
+	for pg := first; pg <= last; pg++ {
+		pageStart := pg * int64(d.pageSize)
+		from := max64(off, pageStart)
+		to := min64(off+length, pageStart+int64(d.pageSize))
+		full := from == pageStart && to == pageStart+int64(d.pageSize)
+
+		var data []byte
+		if !full {
+			// Read-modify-write of a partial page.
+			old, cost, err := d.f.ReadPage(int(pg))
+			total.Add(cost)
+			if err != nil {
+				d.advance(total, 0)
+				return err
+			}
+			if payload != nil {
+				data = make([]byte, d.pageSize)
+				if old != nil {
+					copy(data, old)
+				}
+				copy(data[from-pageStart:], payload[from-off:to-off])
+			}
+		} else if payload != nil {
+			data = payload[from-off : to-off]
+		}
+		cost, err := d.f.WritePage(int(pg), data, reqBytes)
+		total.Add(cost)
+		if err != nil {
+			d.advance(total, 0)
+			if errors.Is(err, ftl.ErrBricked) {
+				return fmt.Errorf("%w: %s: %v", ErrBricked, d.prof.Name, err)
+			}
+			return err
+		}
+	}
+	d.bytesWritten += length
+	d.advance(total, length)
+	return nil
+}
+
+// usdPenalty models the SD controller's allocation-unit copy for
+// non-appending writes. It returns extra (time-only) cost.
+func (d *Device) usdPenalty(off, length int64) ftl.Cost {
+	au := d.prof.AllocationUnit
+	var extra ftl.Cost
+	auPages := int(au / int64(d.pageSize))
+	for cur := off; cur < off+length; {
+		auIdx := cur / au
+		expect, seen := d.auAppend[auIdx]
+		if !seen {
+			expect = auIdx * au // fresh AU: appending from its start
+		}
+		end := min64((auIdx+1)*au, off+length)
+		if cur != expect {
+			extra.Reads += auPages
+			extra.Programs += auPages
+		}
+		d.auAppend[auIdx] = end
+		cur = end
+	}
+	return extra
+}
+
+// Discard implements blockdev.Device.
+func (d *Device) Discard(off, length int64) error {
+	if err := blockdev.CheckRange(d, off, length); err != nil {
+		return err
+	}
+	var total ftl.Cost
+	first, last := d.pageRange(off, length)
+	for pg := first; pg <= last; pg++ {
+		pageStart := pg * int64(d.pageSize)
+		if pageStart < off || pageStart+int64(d.pageSize) > off+length {
+			continue // partial pages are not discarded
+		}
+		cost, err := d.f.TrimPage(int(pg))
+		total.Add(cost)
+		if err != nil {
+			return err
+		}
+	}
+	d.advance(total, 0)
+	return nil
+}
+
+// Sanitize performs a whole-device secure erase — the factory-reset path.
+// It consumes one P/E cycle per block and, per the paper's argument about
+// permanently-consumable resources, restores none of the device's life.
+func (d *Device) Sanitize() error {
+	cost, err := d.f.Sanitize()
+	d.advance(cost, 0)
+	d.auAppend = make(map[int64]int64)
+	if err != nil {
+		if errors.Is(err, ftl.ErrBricked) {
+			return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
+		}
+		return err
+	}
+	return nil
+}
+
+// Flush implements blockdev.Device.
+func (d *Device) Flush() error {
+	cost, err := d.f.Flush()
+	d.advance(cost, 0)
+	if err != nil {
+		if errors.Is(err, ftl.ErrBricked) {
+			return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
+		}
+		return err
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package device
+
+import "flashwear/internal/ftl"
+
+// JEDEC eMMC 5.1 EXT_CSD register offsets (JESD84-B51 §7.4). Only the
+// health-related bytes the paper reads are populated; the rest of the
+// 512-byte block reads as zero.
+const (
+	// ExtCSDPreEOLInfo is byte 267: PRE_EOL_INFO (1 normal, 2 warning,
+	// 3 urgent; 0 not defined).
+	ExtCSDPreEOLInfo = 267
+	// ExtCSDLifeTimeEstA is byte 268: DEVICE_LIFE_TIME_EST_TYP_A, the
+	// 11-level wear-out indicator for Type A memory.
+	ExtCSDLifeTimeEstA = 268
+	// ExtCSDLifeTimeEstB is byte 269: DEVICE_LIFE_TIME_EST_TYP_B.
+	ExtCSDLifeTimeEstB = 269
+	// ExtCSDRev is byte 192: EXT_CSD_REV (8 = v5.1).
+	ExtCSDRev = 192
+	// ExtCSDSecCount is bytes 212-215: SEC_COUNT, the device capacity in
+	// 512-byte sectors, little-endian.
+	ExtCSDSecCount = 212
+)
+
+// WearHistogram buckets the main pool's per-block wear into the given
+// number of equal-width bins over [0, maxWear], with maxWear the worst
+// block observed. It is the analysis view behind the wear-leveling
+// ablation: a healthy FTL concentrates blocks near the top bin (everyone
+// equally worn); a broken one spreads them out.
+func (d *Device) WearHistogram(bins int) []int {
+	if bins < 1 {
+		bins = 1
+	}
+	chip := d.f.MainChip()
+	blocks := chip.Geometry().Blocks()
+	maxW := chip.MaxWear()
+	h := make([]int, bins)
+	if maxW <= 0 {
+		h[0] = blocks
+		return h
+	}
+	for b := 0; b < blocks; b++ {
+		idx := int(chip.Wear(b) / maxW * float64(bins))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h[idx]++
+	}
+	return h
+}
+
+// ExtCSD renders the device's health state as a JEDEC EXT_CSD register
+// block, exactly as the paper's measurement tooling would read it over
+// `mmc extcsd read`. For profiles flagged UnreliableIndicator the life-time
+// bytes carry the same garbage the registers return.
+func (d *Device) ExtCSD() [512]byte {
+	var csd [512]byte
+	csd[ExtCSDRev] = 8 // eMMC 5.1
+	sectors := uint32(d.Size() / 512)
+	csd[ExtCSDSecCount+0] = byte(sectors)
+	csd[ExtCSDSecCount+1] = byte(sectors >> 8)
+	csd[ExtCSDSecCount+2] = byte(sectors >> 16)
+	csd[ExtCSDSecCount+3] = byte(sectors >> 24)
+	csd[ExtCSDPreEOLInfo] = byte(d.PreEOLInfo())
+	csd[ExtCSDLifeTimeEstA] = byte(d.WearIndicator(ftl.PoolA))
+	csd[ExtCSDLifeTimeEstB] = byte(d.WearIndicator(ftl.PoolB))
+	return csd
+}

@@ -1,0 +1,51 @@
+package ecc
+
+import "fmt"
+
+// BCH models the correction capability of the BCH codes used by eMMC-class
+// controllers: up to T raw bit errors per codeword of CodewordBytes are
+// corrected transparently; more are uncorrectable.
+//
+// Unlike the Hamming codec this is a capability model, not a bit-level
+// implementation — the endurance simulation only needs to know where the
+// correctable/uncorrectable boundary lies, and the boundary is exactly T.
+type BCH struct {
+	// T is the maximum number of correctable bit errors per codeword.
+	T int
+	// CodewordBytes is the protected unit, typically 1 KiB.
+	CodewordBytes int
+}
+
+// NewBCH returns a BCH capability model, validating its parameters.
+func NewBCH(t, codewordBytes int) (BCH, error) {
+	if t < 1 {
+		return BCH{}, fmt.Errorf("ecc: BCH: t = %d, want >= 1", t)
+	}
+	if codewordBytes < 1 {
+		return BCH{}, fmt.Errorf("ecc: BCH: codeword = %d bytes, want >= 1", codewordBytes)
+	}
+	return BCH{T: t, CodewordBytes: codewordBytes}, nil
+}
+
+// DefaultBCH returns the eMMC-class default: 8 bits per 1 KiB.
+func DefaultBCH() BCH { return BCH{T: 8, CodewordBytes: 1024} }
+
+// Correctable reports whether a codeword with bitErrors raw errors decodes.
+func (b BCH) Correctable(bitErrors int) bool { return bitErrors <= b.T }
+
+// ParityBytes estimates the parity overhead per codeword: a binary BCH code
+// over GF(2^m) needs at most m*t parity bits, with m the smallest field
+// exponent covering the codeword.
+func (b BCH) ParityBytes() int {
+	n := b.CodewordBytes * 8
+	m := 1
+	for (1<<m)-1 < n {
+		m++
+	}
+	return (m*b.T + 7) / 8
+}
+
+// String implements fmt.Stringer.
+func (b BCH) String() string {
+	return fmt.Sprintf("BCH(t=%d per %dB)", b.T, b.CodewordBytes)
+}

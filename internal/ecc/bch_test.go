@@ -1,0 +1,63 @@
+package ecc
+
+import "testing"
+
+func TestNewBCHValidation(t *testing.T) {
+	if _, err := NewBCH(0, 1024); err == nil {
+		t.Fatal("NewBCH(0, 1024) succeeded, want error")
+	}
+	if _, err := NewBCH(8, 0); err == nil {
+		t.Fatal("NewBCH(8, 0) succeeded, want error")
+	}
+	b, err := NewBCH(8, 1024)
+	if err != nil {
+		t.Fatalf("NewBCH(8, 1024) = %v", err)
+	}
+	if b.T != 8 || b.CodewordBytes != 1024 {
+		t.Fatalf("BCH = %+v, want t=8 cw=1024", b)
+	}
+}
+
+func TestBCHCorrectableBoundary(t *testing.T) {
+	b := DefaultBCH()
+	if !b.Correctable(0) {
+		t.Error("0 errors should be correctable")
+	}
+	if !b.Correctable(b.T) {
+		t.Errorf("%d errors (== t) should be correctable", b.T)
+	}
+	if b.Correctable(b.T + 1) {
+		t.Errorf("%d errors (t+1) should be uncorrectable", b.T+1)
+	}
+}
+
+func TestBCHParityBytes(t *testing.T) {
+	// 1 KiB codeword = 8192 data bits -> m = 14 (2^14-1 = 16383 >= 8192).
+	// t=8 -> 112 parity bits -> 14 bytes.
+	b := DefaultBCH()
+	if got := b.ParityBytes(); got != 14 {
+		t.Fatalf("ParityBytes() = %d, want 14", got)
+	}
+	// 512-byte codeword = 4096 bits -> m = 13, t=4 -> 52 bits -> 7 bytes.
+	b2, _ := NewBCH(4, 512)
+	if got := b2.ParityBytes(); got != 7 {
+		t.Fatalf("ParityBytes() = %d, want 7", got)
+	}
+}
+
+func TestBCHString(t *testing.T) {
+	if got := DefaultBCH().String(); got != "BCH(t=8 per 1024B)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestStrongerBCHToleratesMore(t *testing.T) {
+	weak, _ := NewBCH(4, 1024)
+	strong, _ := NewBCH(40, 1024)
+	if weak.Correctable(10) {
+		t.Error("t=4 should not correct 10 errors")
+	}
+	if !strong.Correctable(10) {
+		t.Error("t=40 should correct 10 errors")
+	}
+}

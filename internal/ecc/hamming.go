@@ -1,0 +1,175 @@
+// Package ecc provides the error-correction substrate the flash stack reads
+// through: a real extended-Hamming SEC-DED codec operating on 64-byte
+// codewords, and a BCH capability model matching the t-bit-per-1KiB
+// correction strength eMMC-class controllers ship (§2.2's "significant body
+// of work ... dedicated to Error Correction Coding").
+//
+// The Hamming codec is bit-accurate — encode, corrupt, decode round-trips
+// are exercised by the test suite — while the BCH model captures only the
+// correction *capability*, which is what the endurance simulation needs.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Hamming codec parameters: we protect 512 data bits (64 bytes) with 10
+// parity bits plus 1 overall parity bit, an extended Hamming code:
+// single-error correction, double-error detection.
+const (
+	HammingDataBytes = 64
+	hammingDataBits  = HammingDataBytes * 8 // 512
+	hammingParity    = 10                   // 2^10 = 1024 >= 512+10+1
+	parityMask       = 1<<hammingParity - 1
+)
+
+// Errors returned by Decode.
+var (
+	ErrDetected = errors.New("ecc: uncorrectable error detected (double-bit)")
+	ErrCodeword = errors.New("ecc: malformed codeword")
+)
+
+// Codeword is an encoded 64-byte block: data, 10 Hamming parity bits and one
+// overall parity bit packed into the Parity field (bits 0..9 Hamming, bit 10
+// overall).
+type Codeword struct {
+	Data   [HammingDataBytes]byte
+	Parity uint16
+}
+
+// bitAt returns data bit i (0-based, LSB-first within each byte).
+func bitAt(data []byte, i int) int {
+	return int(data[i>>3]>>(uint(i)&7)) & 1
+}
+
+// flipBit flips data bit i in place.
+func flipBit(data []byte, i int) {
+	data[i>>3] ^= 1 << (uint(i) & 7)
+}
+
+// dataPositions maps a data-bit index to its codeword position in the
+// classic Hamming layout, where positions that are powers of two hold parity
+// bits. Data bits occupy the remaining positions 3,5,6,7,9,... in order.
+var dataPositions = buildDataPositions()
+
+func buildDataPositions() [hammingDataBits]int {
+	var pos [hammingDataBits]int
+	p, i := 1, 0
+	for i < hammingDataBits {
+		p++
+		if p&(p-1) == 0 { // power of two: parity position
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}
+
+// hammingOf returns the 10 Hamming parity bits (as the XOR of codeword
+// positions of set data bits) and the number of set data bits.
+func hammingOf(data []byte) (parity uint16, ones int) {
+	var syndrome int
+	for i := 0; i < hammingDataBits; i++ {
+		if bitAt(data, i) == 1 {
+			syndrome ^= dataPositions[i]
+			ones++
+		}
+	}
+	return uint16(syndrome) & parityMask, ones
+}
+
+// Encode computes the parity for 64 bytes of data. It panics if data is not
+// exactly HammingDataBytes long, since that is a programming error.
+func Encode(data []byte) Codeword {
+	if len(data) != HammingDataBytes {
+		panic(fmt.Sprintf("ecc: Encode: data length %d, want %d", len(data), HammingDataBytes))
+	}
+	var cw Codeword
+	copy(cw.Data[:], data)
+	p, ones := hammingOf(data)
+	// Overall parity makes the total number of set bits in the stored word
+	// (data + Hamming parity + overall bit) even.
+	if (ones+bits.OnesCount16(p))&1 == 1 {
+		p |= 1 << hammingParity
+	}
+	cw.Parity = p
+	return cw
+}
+
+// Decode checks and repairs a codeword in place. It returns the number of
+// bits corrected (0 or 1), or ErrDetected for an uncorrectable double-bit
+// error.
+func Decode(cw *Codeword) (corrected int, err error) {
+	if cw == nil {
+		return 0, ErrCodeword
+	}
+	storedHamming := cw.Parity & parityMask
+	freshHamming, ones := hammingOf(cw.Data[:])
+	synd := storedHamming ^ freshHamming
+	// Overall parity is checked over the received word exactly as stored.
+	received := ones + bits.OnesCount16(cw.Parity)
+	odd := received&1 == 1
+
+	switch {
+	case synd == 0 && !odd:
+		return 0, nil
+	case synd == 0 && odd:
+		// The overall parity bit itself flipped; data is intact.
+		cw.Parity ^= 1 << hammingParity
+		return 1, nil
+	case odd:
+		// Single-bit error at codeword position synd.
+		if synd&(synd-1) == 0 {
+			// A Hamming parity bit flipped; data is intact.
+			cw.Parity ^= synd
+			return 1, nil
+		}
+		idx := dataIndexOf(int(synd))
+		if idx < 0 {
+			return 0, fmt.Errorf("%w: syndrome %d outside codeword", ErrCodeword, synd)
+		}
+		flipBit(cw.Data[:], idx)
+		return 1, nil
+	default:
+		// Non-zero syndrome with even overall parity: two bits flipped.
+		return 0, ErrDetected
+	}
+}
+
+// dataIndexOf inverts dataPositions: codeword position -> data bit index, or
+// -1 if the position does not hold a data bit.
+func dataIndexOf(pos int) int {
+	lo, hi := 0, hammingDataBits-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case dataPositions[mid] == pos:
+			return mid
+		case dataPositions[mid] < pos:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1
+}
+
+// FlipDataBit corrupts bit i of the codeword's data, for tests and fault
+// injection.
+func (cw *Codeword) FlipDataBit(i int) {
+	if i < 0 || i >= hammingDataBits {
+		panic(fmt.Sprintf("ecc: FlipDataBit(%d): out of range", i))
+	}
+	flipBit(cw.Data[:], i)
+}
+
+// FlipParityBit corrupts parity bit k (0..10, where 10 is the overall bit).
+func (cw *Codeword) FlipParityBit(k int) {
+	if k < 0 || k > hammingParity {
+		panic(fmt.Sprintf("ecc: FlipParityBit(%d): out of range", k))
+	}
+	cw.Parity ^= 1 << uint(k)
+}

@@ -1,0 +1,157 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	data := make([]byte, HammingDataBytes)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	cw := Encode(data)
+	n, err := Decode(&cw)
+	if err != nil || n != 0 {
+		t.Fatalf("Decode(clean) = (%d, %v), want (0, nil)", n, err)
+	}
+	if !bytes.Equal(cw.Data[:], data) {
+		t.Fatal("clean decode mutated data")
+	}
+}
+
+func TestSingleDataBitErrorCorrected(t *testing.T) {
+	data := make([]byte, HammingDataBytes)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	for bit := 0; bit < hammingDataBits; bit++ {
+		cw := Encode(data)
+		cw.FlipDataBit(bit)
+		n, err := Decode(&cw)
+		if err != nil {
+			t.Fatalf("bit %d: Decode = %v, want corrected", bit, err)
+		}
+		if n != 1 {
+			t.Fatalf("bit %d: corrected = %d, want 1", bit, n)
+		}
+		if !bytes.Equal(cw.Data[:], data) {
+			t.Fatalf("bit %d: data not restored", bit)
+		}
+	}
+}
+
+func TestSingleParityBitErrorCorrected(t *testing.T) {
+	data := make([]byte, HammingDataBytes)
+	for i := range data {
+		data[i] = byte(255 - i)
+	}
+	for k := 0; k <= hammingParity; k++ {
+		cw := Encode(data)
+		want := cw.Parity
+		cw.FlipParityBit(k)
+		n, err := Decode(&cw)
+		if err != nil {
+			t.Fatalf("parity bit %d: Decode = %v, want corrected", k, err)
+		}
+		if n != 1 {
+			t.Fatalf("parity bit %d: corrected = %d, want 1", k, n)
+		}
+		if cw.Parity != want {
+			t.Fatalf("parity bit %d: parity not restored: got %04x want %04x", k, cw.Parity, want)
+		}
+		if !bytes.Equal(cw.Data[:], data) {
+			t.Fatalf("parity bit %d: data corrupted by parity repair", k)
+		}
+	}
+}
+
+func TestDoubleBitErrorDetected(t *testing.T) {
+	data := make([]byte, HammingDataBytes)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(data)
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Intn(hammingDataBits)
+		b := rng.Intn(hammingDataBits)
+		for b == a {
+			b = rng.Intn(hammingDataBits)
+		}
+		cw := Encode(data)
+		cw.FlipDataBit(a)
+		cw.FlipDataBit(b)
+		if _, err := Decode(&cw); err != ErrDetected {
+			t.Fatalf("bits (%d,%d): Decode err = %v, want ErrDetected", a, b, err)
+		}
+	}
+}
+
+func TestDataPlusParityDoubleErrorDetected(t *testing.T) {
+	data := make([]byte, HammingDataBytes)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+	for trial := 0; trial < 200; trial++ {
+		cw := Encode(data)
+		cw.FlipDataBit(rng.Intn(hammingDataBits))
+		cw.FlipParityBit(rng.Intn(hammingParity)) // not the overall bit
+		if _, err := Decode(&cw); err != ErrDetected {
+			t.Fatalf("trial %d: Decode err = %v, want ErrDetected", trial, err)
+		}
+	}
+}
+
+func TestEncodeWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode(short) did not panic")
+		}
+	}()
+	Encode(make([]byte, 10))
+}
+
+func TestDecodeNil(t *testing.T) {
+	if _, err := Decode(nil); err != ErrCodeword {
+		t.Fatalf("Decode(nil) err = %v, want ErrCodeword", err)
+	}
+}
+
+func TestDataPositionsAreUniqueNonPowers(t *testing.T) {
+	seen := map[int]bool{}
+	for _, p := range dataPositions {
+		if p&(p-1) == 0 {
+			t.Fatalf("position %d is a power of two (reserved for parity)", p)
+		}
+		if seen[p] {
+			t.Fatalf("position %d duplicated", p)
+		}
+		seen[p] = true
+	}
+}
+
+// Property: for any payload and any single flipped data bit, decode restores
+// the payload exactly.
+func TestQuickSingleErrorRoundTrip(t *testing.T) {
+	f := func(payload [HammingDataBytes]byte, bit uint16) bool {
+		b := int(bit) % hammingDataBits
+		cw := Encode(payload[:])
+		cw.FlipDataBit(b)
+		n, err := Decode(&cw)
+		return err == nil && n == 1 && bytes.Equal(cw.Data[:], payload[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode then decode with no corruption is the identity and
+// reports zero corrections.
+func TestQuickCleanRoundTrip(t *testing.T) {
+	f := func(payload [HammingDataBytes]byte) bool {
+		cw := Encode(payload[:])
+		n, err := Decode(&cw)
+		return err == nil && n == 0 && bytes.Equal(cw.Data[:], payload[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

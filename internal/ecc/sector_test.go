@@ -1,0 +1,108 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSectorCodecValidation(t *testing.T) {
+	for _, bad := range []int{0, -64, 63, 100} {
+		if _, err := NewSectorCodec(bad); !errors.Is(err, ErrSectorSize) {
+			t.Errorf("NewSectorCodec(%d) err = %v, want ErrSectorSize", bad, err)
+		}
+	}
+	s, err := NewSectorCodec(512)
+	if err != nil {
+		t.Fatalf("NewSectorCodec(512) = %v", err)
+	}
+	if s.SectorBytes() != 512 || s.ParityBytes() != 16 {
+		t.Fatalf("codec = %d bytes / %d parity, want 512/16", s.SectorBytes(), s.ParityBytes())
+	}
+}
+
+func TestSectorCleanRoundTrip(t *testing.T) {
+	s, _ := NewSectorCodec(4096)
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(data)
+	orig := append([]byte(nil), data...)
+	parity, err := s.EncodeSector(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.DecodeSector(data, parity)
+	if err != nil || n != 0 {
+		t.Fatalf("DecodeSector = (%d, %v), want (0, nil)", n, err)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("clean decode mutated sector")
+	}
+}
+
+func TestSectorScatteredSingleErrorsCorrected(t *testing.T) {
+	s, _ := NewSectorCodec(512)
+	data := make([]byte, 512)
+	rng := rand.New(rand.NewSource(6))
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	parity, _ := s.EncodeSector(data)
+	// One bit per codeword: all correctable.
+	for w := 0; w < 512/HammingDataBytes; w++ {
+		bit := w*HammingDataBytes*8 + rng.Intn(HammingDataBytes*8)
+		data[bit/8] ^= 1 << (uint(bit) % 8)
+	}
+	n, err := s.DecodeSector(data, parity)
+	if err != nil {
+		t.Fatalf("DecodeSector = %v, want all corrected", err)
+	}
+	if n != 8 {
+		t.Fatalf("corrected = %d, want 8", n)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("sector not restored")
+	}
+}
+
+func TestSectorDoubleErrorInOneCodewordFails(t *testing.T) {
+	s, _ := NewSectorCodec(256)
+	data := make([]byte, 256)
+	parity, _ := s.EncodeSector(data)
+	data[0] ^= 0x01
+	data[1] ^= 0x01 // same 64-byte codeword
+	if _, err := s.DecodeSector(data, parity); !errors.Is(err, ErrDetected) {
+		t.Fatalf("DecodeSector err = %v, want ErrDetected", err)
+	}
+}
+
+func TestSectorLengthMismatch(t *testing.T) {
+	s, _ := NewSectorCodec(128)
+	if _, err := s.EncodeSector(make([]byte, 64)); err == nil {
+		t.Fatal("EncodeSector(wrong size) succeeded")
+	}
+	if _, err := s.DecodeSector(make([]byte, 128), make([]byte, 3)); err == nil {
+		t.Fatal("DecodeSector(wrong parity size) succeeded")
+	}
+}
+
+// Property: a single flipped bit anywhere in a sector is always repaired.
+func TestQuickSectorSingleBitRepair(t *testing.T) {
+	s, _ := NewSectorCodec(256)
+	f := func(seed int64, bitIdx uint16) bool {
+		data := make([]byte, 256)
+		rand.New(rand.NewSource(seed)).Read(data)
+		orig := append([]byte(nil), data...)
+		parity, err := s.EncodeSector(data)
+		if err != nil {
+			return false
+		}
+		bit := int(bitIdx) % (256 * 8)
+		data[bit/8] ^= 1 << (uint(bit) % 8)
+		n, err := s.DecodeSector(data, parity)
+		return err == nil && n == 1 && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

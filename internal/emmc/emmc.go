@@ -1,0 +1,297 @@
+// Package emmc exposes a simulated device through the JEDEC eMMC 5.1
+// command transport (JESD84-B51): the host issues CMDs and receives R1
+// responses, exactly the path the paper's measurement tooling (`mmc extcsd
+// read /dev/mmcblkX`) and the Linux mmc driver use. The full command set is
+// not implemented — only the subset a block driver and a health monitor
+// need: initialisation, selection, block I/O, trim/erase, status and
+// EXT_CSD reads.
+package emmc
+
+import (
+	"errors"
+	"fmt"
+
+	"flashwear/internal/device"
+)
+
+// Command indices (JESD84-B51 §6.6).
+const (
+	CmdGoIdleState       = 0  // CMD0
+	CmdSendOpCond        = 1  // CMD1
+	CmdAllSendCID        = 2  // CMD2
+	CmdSetRelativeAddr   = 3  // CMD3
+	CmdSelectCard        = 7  // CMD7
+	CmdSendExtCSD        = 8  // CMD8
+	CmdSendCSD           = 9  // CMD9
+	CmdSendStatus        = 13 // CMD13
+	CmdSetBlocklen       = 16 // CMD16
+	CmdReadSingleBlock   = 17 // CMD17
+	CmdReadMultipleBlock = 18 // CMD18
+	CmdSetBlockCount     = 23 // CMD23
+	CmdWriteBlock        = 24 // CMD24
+	CmdWriteMultipleBlk  = 25 // CMD25
+	CmdEraseGroupStart   = 35 // CMD35
+	CmdEraseGroupEnd     = 36 // CMD36
+	CmdErase             = 38 // CMD38
+)
+
+// R1 card status bits (JESD84-B51 §6.13).
+const (
+	StatusReadyForData   = 1 << 8
+	StatusErrorBit       = 1 << 19 // general/unknown error
+	StatusIllegalCommand = 1 << 22
+	StatusAddressError   = 1 << 30
+
+	statusStateShift = 9
+)
+
+// Card states (CURRENT_STATE field of R1).
+const (
+	StateIdle  = 0
+	StateReady = 1
+	StateIdent = 2
+	StateStby  = 3
+	StateTran  = 4
+)
+
+// Errors returned by the controller.
+var (
+	ErrNotSelected = errors.New("emmc: card not in transfer state")
+	ErrIllegal     = errors.New("emmc: illegal command in current state")
+	ErrAddress     = errors.New("emmc: address out of range")
+)
+
+// TrimArg is the CMD38 argument selecting TRIM instead of erase.
+const TrimArg = 0x00000001
+
+// Response is a command response: the R1 status word plus any data phase.
+type Response struct {
+	R1   uint32
+	Data []byte
+}
+
+// Controller is the card-side command state machine wrapped around a
+// simulated device.
+type Controller struct {
+	dev *device.Device
+
+	state      int
+	rca        uint16
+	blockLen   int
+	blockCount int // pending CMD23 count, 0 if none
+	eraseStart int64
+	eraseEnd   int64
+	erasePend  bool
+}
+
+// New wraps a device; the card starts in the idle state, as after power-on.
+func New(dev *device.Device) *Controller {
+	return &Controller{dev: dev, state: StateIdle, blockLen: 512}
+}
+
+// r1 builds a status word for the current state.
+func (c *Controller) r1(bits uint32) uint32 {
+	return bits | StatusReadyForData | uint32(c.state)<<statusStateShift
+}
+
+// Send issues a command without a data phase (or whose data phase is a
+// response, like CMD8). Data for writes goes through SendData.
+func (c *Controller) Send(cmd uint8, arg uint32) (Response, error) {
+	switch cmd {
+	case CmdGoIdleState:
+		c.state = StateIdle
+		c.blockCount = 0
+		c.erasePend = false
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdSendOpCond:
+		if c.state != StateIdle {
+			return c.illegal()
+		}
+		c.state = StateReady
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdAllSendCID:
+		if c.state != StateReady {
+			return c.illegal()
+		}
+		c.state = StateIdent
+		return Response{R1: c.r1(0), Data: c.cid()}, nil
+
+	case CmdSetRelativeAddr:
+		if c.state != StateIdent {
+			return c.illegal()
+		}
+		c.rca = uint16(arg >> 16)
+		c.state = StateStby
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdSelectCard:
+		if c.state != StateStby || uint16(arg>>16) != c.rca {
+			return c.illegal()
+		}
+		c.state = StateTran
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdSendExtCSD:
+		if c.state != StateTran {
+			return c.illegal()
+		}
+		csd := c.dev.ExtCSD()
+		return Response{R1: c.r1(0), Data: csd[:]}, nil
+
+	case CmdSendCSD:
+		if c.state != StateStby && c.state != StateTran {
+			return c.illegal()
+		}
+		return Response{R1: c.r1(0), Data: c.csd()}, nil
+
+	case CmdSendStatus:
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdSetBlocklen:
+		if c.state != StateTran || arg == 0 || arg%512 != 0 || arg > 4096 {
+			return c.illegal()
+		}
+		c.blockLen = int(arg)
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdSetBlockCount:
+		if c.state != StateTran {
+			return c.illegal()
+		}
+		c.blockCount = int(arg & 0xFFFF)
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdReadSingleBlock:
+		return c.read(arg, 1)
+
+	case CmdReadMultipleBlock:
+		n := c.blockCount
+		c.blockCount = 0
+		if n == 0 {
+			n = 1 // open-ended reads are closed immediately in this model
+		}
+		return c.read(arg, n)
+
+	case CmdEraseGroupStart:
+		if c.state != StateTran {
+			return c.illegal()
+		}
+		c.eraseStart = int64(arg) * 512
+		c.erasePend = true
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdEraseGroupEnd:
+		if c.state != StateTran || !c.erasePend {
+			return c.illegal()
+		}
+		c.eraseEnd = int64(arg)*512 + 512
+		return Response{R1: c.r1(0)}, nil
+
+	case CmdErase:
+		if c.state != StateTran || !c.erasePend || c.eraseEnd <= c.eraseStart {
+			return c.illegal()
+		}
+		c.erasePend = false
+		// Both TRIM (arg 1) and erase discard the range in this model.
+		_ = arg
+		if err := c.dev.Discard(c.eraseStart, c.eraseEnd-c.eraseStart); err != nil {
+			return Response{R1: c.r1(StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
+		}
+		return Response{R1: c.r1(0)}, nil
+
+	default:
+		return c.illegal()
+	}
+}
+
+// SendData issues a write command with its data phase (CMD24/CMD25).
+func (c *Controller) SendData(cmd uint8, arg uint32, data []byte) (Response, error) {
+	if c.state != StateTran {
+		return c.illegal()
+	}
+	switch cmd {
+	case CmdWriteBlock:
+		if len(data) != c.blockLen {
+			return c.illegal()
+		}
+	case CmdWriteMultipleBlk:
+		if len(data) == 0 || len(data)%c.blockLen != 0 {
+			return c.illegal()
+		}
+		if n := c.blockCount; n > 0 && len(data) != n*c.blockLen {
+			c.blockCount = 0
+			return c.illegal()
+		}
+		c.blockCount = 0
+	default:
+		return c.illegal()
+	}
+	off := int64(arg) * 512
+	if err := c.dev.WriteAt(data, off); err != nil {
+		return Response{R1: c.r1(StatusErrorBit | StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
+	}
+	return Response{R1: c.r1(0)}, nil
+}
+
+func (c *Controller) read(arg uint32, blocks int) (Response, error) {
+	if c.state != StateTran {
+		return c.illegal()
+	}
+	buf := make([]byte, blocks*c.blockLen)
+	off := int64(arg) * 512
+	if err := c.dev.ReadAt(buf, off); err != nil {
+		return Response{R1: c.r1(StatusErrorBit | StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
+	}
+	return Response{R1: c.r1(0), Data: buf}, nil
+}
+
+func (c *Controller) illegal() (Response, error) {
+	return Response{R1: c.r1(StatusIllegalCommand)}, ErrIllegal
+}
+
+// cid builds a 16-byte card identification register from the profile.
+func (c *Controller) cid() []byte {
+	cid := make([]byte, 16)
+	cid[0] = 0x15 // manufacturer ID (simulated)
+	name := c.dev.Profile().Name
+	for i := 0; i < 6 && i < len(name); i++ {
+		cid[3+i] = name[i]
+	}
+	return cid
+}
+
+// csd builds a 16-byte card-specific data register; only the pieces a
+// driver actually parses (capacity comes from EXT_CSD SEC_COUNT for
+// high-capacity cards) are meaningful.
+func (c *Controller) csd() []byte {
+	csd := make([]byte, 16)
+	csd[0] = 0x90 // CSD_STRUCTURE v1.2, spec vers 4.x+
+	return csd
+}
+
+// Init performs the standard bus initialisation handshake a host driver
+// runs at boot: CMD0, CMD1, CMD2, CMD3, CMD7. After Init the card is in the
+// transfer state and ready for block I/O.
+func (c *Controller) Init(rca uint16) error {
+	seq := []struct {
+		cmd uint8
+		arg uint32
+	}{
+		{CmdGoIdleState, 0},
+		{CmdSendOpCond, 0x40FF8080},
+		{CmdAllSendCID, 0},
+		{CmdSetRelativeAddr, uint32(rca) << 16},
+		{CmdSelectCard, uint32(rca) << 16},
+	}
+	for _, s := range seq {
+		if _, err := c.Send(s.cmd, s.arg); err != nil {
+			return fmt.Errorf("emmc: init CMD%d: %w", s.cmd, err)
+		}
+	}
+	return nil
+}
+
+// State returns the card's current state (for tests and diagnostics).
+func (c *Controller) State() int { return c.state }

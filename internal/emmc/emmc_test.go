@@ -1,0 +1,229 @@
+package emmc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flashwear/internal/device"
+	"flashwear/internal/simclock"
+)
+
+func testController(t *testing.T) *Controller {
+	t.Helper()
+	dev, err := device.New(device.ProfileEMMC8().Scaled(512), simclock.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev)
+}
+
+func TestInitHandshake(t *testing.T) {
+	c := testController(t)
+	if c.State() != StateIdle {
+		t.Fatal("card not idle at power-on")
+	}
+	if err := c.Init(1); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if c.State() != StateTran {
+		t.Fatalf("state after init = %d, want transfer", c.State())
+	}
+}
+
+func TestCommandsRejectedOutOfState(t *testing.T) {
+	c := testController(t)
+	// Block I/O before init is illegal.
+	if _, err := c.Send(CmdReadSingleBlock, 0); !errors.Is(err, ErrIllegal) {
+		t.Fatalf("read in idle err = %v", err)
+	}
+	resp, _ := c.Send(CmdReadSingleBlock, 0)
+	if resp.R1&StatusIllegalCommand == 0 {
+		t.Fatal("ILLEGAL_COMMAND bit not set")
+	}
+	// CMD1 twice is illegal (already ready).
+	if _, err := c.Send(CmdSendOpCond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(CmdSendOpCond, 0); !errors.Is(err, ErrIllegal) {
+		t.Fatal("CMD1 in ready state accepted")
+	}
+	// CMD0 always resets.
+	if _, err := c.Send(CmdGoIdleState, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateIdle {
+		t.Fatal("CMD0 did not reset")
+	}
+}
+
+func TestSingleBlockIO(t *testing.T) {
+	c := testController(t)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xC3}, 512)
+	if _, err := c.SendData(CmdWriteBlock, 8, payload); err != nil {
+		t.Fatalf("CMD24: %v", err)
+	}
+	resp, err := c.Send(CmdReadSingleBlock, 8)
+	if err != nil {
+		t.Fatalf("CMD17: %v", err)
+	}
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("read != written")
+	}
+}
+
+func TestMultiBlockIOWithBlockCount(t *testing.T) {
+	c := testController(t)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x7E}, 4*512)
+	if _, err := c.Send(CmdSetBlockCount, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SendData(CmdWriteMultipleBlk, 64, payload); err != nil {
+		t.Fatalf("CMD25: %v", err)
+	}
+	if _, err := c.Send(CmdSetBlockCount, 4); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Send(CmdReadMultipleBlock, 64)
+	if err != nil {
+		t.Fatalf("CMD18: %v", err)
+	}
+	if !bytes.Equal(resp.Data, payload) {
+		t.Fatal("multi-block round trip failed")
+	}
+}
+
+func TestExtCSDHealthRead(t *testing.T) {
+	// The paper's measurement: read DEVICE_LIFE_TIME_EST over the wire.
+	c := testController(t)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Send(CmdSendExtCSD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 512 {
+		t.Fatalf("EXT_CSD length = %d", len(resp.Data))
+	}
+	if resp.Data[device.ExtCSDRev] != 8 {
+		t.Fatalf("EXT_CSD_REV = %d", resp.Data[device.ExtCSDRev])
+	}
+	if resp.Data[device.ExtCSDLifeTimeEstB] != 1 {
+		t.Fatalf("fresh TYP_B = %d, want 1", resp.Data[device.ExtCSDLifeTimeEstB])
+	}
+	if resp.Data[device.ExtCSDPreEOLInfo] != 1 {
+		t.Fatalf("fresh PRE_EOL = %d, want 1", resp.Data[device.ExtCSDPreEOLInfo])
+	}
+}
+
+func TestTrimDiscardsRange(t *testing.T) {
+	c := testController(t)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{9}, 4096)
+	if _, err := c.Send(CmdSetBlocklen, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SendData(CmdWriteBlock, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	// TRIM sectors 0..7 (one 4 KiB page).
+	if _, err := c.Send(CmdEraseGroupStart, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(CmdEraseGroupEnd, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(CmdErase, TrimArg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Send(CmdReadSingleBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range resp.Data[:512] {
+		if b != 0 {
+			t.Fatalf("byte %d survived TRIM", i)
+		}
+	}
+	// CMD38 without a pending group is illegal.
+	if _, err := c.Send(CmdErase, TrimArg); !errors.Is(err, ErrIllegal) {
+		t.Fatal("dangling CMD38 accepted")
+	}
+}
+
+func TestCIDAndCSD(t *testing.T) {
+	c := testController(t)
+	_, _ = c.Send(CmdGoIdleState, 0)
+	_, _ = c.Send(CmdSendOpCond, 0)
+	resp, err := c.Send(CmdAllSendCID, 0)
+	if err != nil || len(resp.Data) != 16 {
+		t.Fatalf("CID: %v, %d bytes", err, len(resp.Data))
+	}
+	if resp.Data[0] != 0x15 {
+		t.Fatal("manufacturer ID missing")
+	}
+	if _, err := c.Send(CmdSetRelativeAddr, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Send(CmdSendCSD, 0)
+	if err != nil || len(resp.Data) != 16 {
+		t.Fatalf("CSD: %v", err)
+	}
+}
+
+func TestBadBlocklen(t *testing.T) {
+	c := testController(t)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []uint32{0, 100, 8192} {
+		if _, err := c.Send(CmdSetBlocklen, bad); !errors.Is(err, ErrIllegal) {
+			t.Errorf("blocklen %d accepted", bad)
+		}
+	}
+}
+
+func TestLifeTimeEstMovesUnderWear(t *testing.T) {
+	dev, err := device.New(func() device.Profile {
+		p := device.ProfileEMMC8().Scaled(512)
+		p.RatedPE = 100
+		return p
+	}(), simclock.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(dev)
+	if err := c.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(CmdSetBlocklen, 4096); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	// Hammer a small region over the wire until TYP_B moves.
+	for i := 0; i < 400_000; i++ {
+		sector := uint32((i % 256) * 8)
+		if _, err := c.SendData(CmdWriteBlock, sector, payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if i%10_000 == 0 {
+			resp, err := c.Send(CmdSendExtCSD, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Data[device.ExtCSDLifeTimeEstB] >= 3 {
+				return // the register moved, observed over the wire
+			}
+		}
+	}
+	t.Fatal("life-time estimate never moved")
+}

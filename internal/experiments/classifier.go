@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"flashwear/internal/android"
+	"flashwear/internal/appmodel"
+	"flashwear/internal/device"
+	"flashwear/internal/mitigation"
+	"flashwear/internal/simclock"
+	"flashwear/internal/workload"
+)
+
+// ClassifierRow is one app's verdict in the classifier evaluation.
+type ClassifierRow struct {
+	App        string
+	Harmful    bool // ground truth: would this app wear the device out?
+	Flagged    bool // classifier verdict
+	Score      float64
+	WrittenMiB float64
+}
+
+// ClassifierEval runs a realistic app population — camera, chat, updater,
+// the Spotify cache bug [26], and the deliberate wear attack — side by side
+// on one phone with the §4.5 classifier observing every write. A useful
+// classifier flags the two harmful writers (deliberate or not) and neither
+// of the benign ones: §4.5's "selectively rate limit only harmful
+// applications without affecting the performance of normal applications".
+func ClassifierEval(cfg Config) ([]ClassifierRow, error) {
+	cfg = cfg.Defaults()
+	clock := simclock.New()
+	prof := device.ProfileMotoE8().Scaled(cfg.Scale)
+	// The budget reflects the real device's endurance; the evaluation
+	// device itself gets effectively unlimited endurance so the heavy
+	// writers can run long enough to be classified without bricking it
+	// mid-study.
+	budget := mitigation.LifespanBudget{
+		CapacityBytes: prof.CapacityBytes,
+		RatedPE:       prof.RatedPE,
+		TargetYears:   3.0 / float64(device.ProfileMotoE8().EffectiveScale(cfg.Scale)),
+		ExpectedWA:    2,
+	}
+	prof.RatedPE = 1_000_000
+	prof.FirmwareRatedPE = 1_000_000
+	classifier := mitigation.NewClassifier(budget)
+
+	phone, err := android.NewPhone(android.Config{
+		Profile:  prof,
+		FS:       android.FSExt4,
+		Charging: android.AlwaysOn(),
+		Screen:   android.Never(),
+		// Observe-only hook: classify, never throttle.
+		Throttle: func(app string, bytes int64, now time.Duration) time.Duration {
+			classifier.ObserveWrite(app, bytes, false, now)
+			return 0
+		},
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+
+	installed := func(name string) *android.App {
+		app, err := phone.InstallApp(name)
+		if err != nil {
+			panic(err) // names are static; cannot collide
+		}
+		return app
+	}
+
+	// Footprints sized so the whole population fits the scaled device
+	// (the camera's photo library accumulates across sessions).
+	camera := appmodel.NewCamera(installed("camera").Storage(), clock, 11)
+	camera.BurstBytes = prof.CapacityBytes / 32
+	camera.PhotoBytes = camera.BurstBytes / 4
+	chat := appmodel.NewChat(installed("chat").Storage(), clock, 12)
+	updater := appmodel.NewUpdater(installed("updater").Storage(), clock, 13)
+	updater.UpdateBytes = prof.CapacityBytes / 16
+	updater.Every = 24 * time.Hour
+	bug := appmodel.NewSpotifyBug(installed("spotify-bug").Storage(), clock, 14)
+	bug.CacheBytes = prof.CapacityBytes / 16
+
+	// The deliberate attack, as a file set on its own sandbox.
+	attackApp := installed("wear-attack")
+	atkSet := workload.NewFileSet(attackApp.Storage(), "/wear", prof.CapacityBytes/40, 15)
+	if err := atkSet.Setup(); err != nil {
+		return nil, err
+	}
+
+	// Interleave everyone over several simulated hours in ten-minute
+	// slices — enough history for the classifier's sliding windows. The
+	// attack and the bug write as fast as the device allows inside their
+	// slices; the benign apps follow their own rhythms.
+	models := []appmodel.Model{camera, chat, updater, bug}
+	slice := 10 * time.Minute
+	for round := 0; round < 24; round++ {
+		for _, m := range models {
+			if err := m.Step(slice); err != nil {
+				return nil, fmt.Errorf("classifier eval: %s: %w", m.Name(), err)
+			}
+		}
+		deadline := clock.Now() + slice
+		for clock.Now() < deadline {
+			if _, err := atkSet.Step(4 << 20); err != nil {
+				return nil, fmt.Errorf("classifier eval: attack: %w", err)
+			}
+		}
+	}
+
+	now := clock.Now()
+	harmful := map[string]bool{"wear-attack": true, "spotify-bug": true}
+	var out []ClassifierRow
+	for _, name := range []string{"camera", "chat", "updater", "spotify-bug", "wear-attack"} {
+		out = append(out, ClassifierRow{
+			App:        name,
+			Harmful:    harmful[name],
+			Flagged:    classifier.Malicious(name, now),
+			Score:      classifier.Score(name, now),
+			WrittenMiB: float64(phone.AppIOStats(name).BytesWritten) / (1 << 20),
+		})
+	}
+	return out, nil
+}

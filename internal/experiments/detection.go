@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"flashwear/internal/android"
+	"flashwear/internal/core"
+	"flashwear/internal/device"
+	"flashwear/internal/simclock"
+)
+
+// DetectionRun is one row of the §4.4 "Detection" experiment.
+type DetectionRun struct {
+	Mode    core.AttackMode
+	Report  core.AttackReport
+	Profile string
+}
+
+// Detection runs the attack app on a Moto E twice — continuous and stealth
+// — and reports what the OS monitors saw. The stealth run must show zero
+// power attribution and zero process-monitor sightings while still
+// destroying the device within a duty-cycle factor of the continuous run.
+func Detection(cfg Config) ([]DetectionRun, error) {
+	cfg = cfg.Defaults()
+	prof := device.ProfileMotoE8()
+	var out []DetectionRun
+	for _, mode := range []core.AttackMode{core.Continuous, core.Stealth} {
+		cfg.Progress("detection: %v attack on %s", mode, prof.Name)
+		clock := simclock.New()
+		phone, err := android.NewPhone(android.Config{
+			Profile: prof.Scaled(cfg.Scale),
+			FS:      android.FSExt4,
+		}, clock)
+		if err != nil {
+			return nil, err
+		}
+		app, err := phone.InstallApp("com.innocuous.wallpaper")
+		if err != nil {
+			return nil, err
+		}
+		// Start mid-morning: screen on, on battery, so a sloppy attack is
+		// maximally exposed.
+		clock.AdvanceTo(10 * time.Hour)
+		atk := core.NewAttack(app, mode, cfg.Scale)
+		rep, err := atk.Run(phone, 10*365*24*time.Hour)
+		if err != nil {
+			return nil, fmt.Errorf("detection %v: %w", mode, err)
+		}
+		out = append(out, DetectionRun{Mode: mode, Report: rep, Profile: prof.Name})
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"flashwear/internal/core"
+	"flashwear/internal/ftl"
+)
+
+// EnvelopeRow compares §2.3's back-of-the-envelope expectation against a
+// measured wear run (§4.3's headline: "roughly three times lower").
+type EnvelopeRow struct {
+	Device          string
+	CapacityGiB     float64
+	EnvelopeGiBPer  float64 // expected host GiB per 10% of lifetime
+	MeasuredGiBPer  float64 // measured host GiB per indicator increment
+	ShortfallFactor float64 // envelope / measured
+}
+
+// EnvelopeComparison derives the comparison from completed wear runs.
+func EnvelopeComparison(runs []WearRun, capacities map[string]int64) []EnvelopeRow {
+	var out []EnvelopeRow
+	for _, r := range runs {
+		capBytes := capacities[r.Label]
+		if capBytes == 0 {
+			continue
+		}
+		env := core.NewEnvelope(capBytes)
+		measured := r.Report.MeanHostGiBPerIncrement(ftl.PoolB)
+		row := EnvelopeRow{
+			Device:         r.Label,
+			CapacityGiB:    float64(capBytes) / (1 << 30),
+			EnvelopeGiBPer: float64(env.BytesPerIncrement()) / (1 << 30),
+			MeasuredGiBPer: measured,
+		}
+		if measured > 0 {
+			row.ShortfallFactor = row.EnvelopeGiBPer / measured
+		}
+		out = append(out, row)
+	}
+	return out
+}

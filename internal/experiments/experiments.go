@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulation stack. Each experiment is a pure
+// function of a Config so the CLI tools and the benchmark harness share one
+// implementation; see DESIGN.md for the experiment index.
+//
+// Results are reported at full device scale: experiments run on profiles
+// whose capacity is divided by Config.Scale and multiply volumes and times
+// back, which preserves wear-per-(scaled)-byte and bandwidths exactly.
+package experiments
+
+import (
+	"fmt"
+
+	"flashwear/internal/android"
+	"flashwear/internal/blockdev"
+	"flashwear/internal/core"
+	"flashwear/internal/device"
+	"flashwear/internal/fs"
+	"flashwear/internal/fs/extfs"
+	"flashwear/internal/fs/f2fs"
+	"flashwear/internal/ftl"
+	"flashwear/internal/simclock"
+)
+
+// Config controls experiment cost.
+type Config struct {
+	// Scale divides device capacities. 1 reproduces full-size devices
+	// (slow); the CLI default is 256; tests/benches use 1024–4096.
+	Scale int64
+	// MaxLevel stops wear runs once the Type B indicator reaches this
+	// level (11 = run to estimated end of life).
+	MaxLevel int
+	// Progress, if non-nil, receives one line per completed phase.
+	Progress func(format string, args ...any)
+}
+
+// Defaults fills zero fields: scale 256, run to level 11.
+func (c Config) Defaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 256
+	}
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = 11
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// mountFS formats and mounts the requested file system on a device in
+// data-accounting mode (wear experiments never read file payloads back).
+func mountFS(dev blockdev.Device, kind android.FSKind) (fs.FileSystem, error) {
+	opts := fs.Options{DataAccounting: true}
+	switch kind {
+	case android.FSF2FS:
+		if err := f2fs.Mkfs(dev); err != nil {
+			return nil, err
+		}
+		return f2fs.Mount(dev, opts)
+	default:
+		if err := extfs.Mkfs(dev); err != nil {
+			return nil, err
+		}
+		return extfs.Mount(dev, opts)
+	}
+}
+
+// newDevice builds a scaled device on a fresh clock, returning the
+// *effective* scale divisor (Scaled clamps tiny capacities, so results
+// must be multiplied by what was actually achieved, not what was asked).
+func newDevice(prof device.Profile, scale int64) (*device.Device, *simclock.Clock, int64, error) {
+	clock := simclock.New()
+	dev, err := device.New(prof.Scaled(scale), clock)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return dev, clock, prof.EffectiveScale(scale), nil
+}
+
+// attackFileSize returns the paper's 100 MB file size at scale.
+func attackFileSize(scale int64) int64 {
+	size := int64(100<<20) / scale
+	if size < 64<<10 {
+		size = 64 << 10
+	}
+	return size
+}
+
+// fitFileSet shrinks a file set that would not fit the (scaled) device,
+// keeping the paper's "<3% of capacity" spirit.
+func fitFileSet(set *workloadFileSet, devSize int64) {
+	if set.TotalBytes() > devSize/10 {
+		size := devSize / 40
+		if size < set.ReqBytes {
+			size = set.ReqBytes * 16
+		}
+		set.FileSize = size
+	}
+}
+
+// runFileWear mounts a file system on a device and drives the paper's
+// file-rewrite workload until the Type B indicator reaches maxLevel or the
+// device bricks. This is the common engine of Figures 2–4.
+func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.RunReport, error) {
+	cfg = cfg.Defaults()
+	dev, clock, eff, err := newDevice(prof, cfg.Scale)
+	if err != nil {
+		return core.RunReport{}, err
+	}
+	fsys, err := mountFS(dev, kind)
+	if err != nil {
+		return core.RunReport{}, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+	}
+	set := newAttackSet(fsys, eff)
+	fitFileSet(set, dev.Size())
+	if err := set.Setup(); err != nil {
+		return core.RunReport{}, fmt.Errorf("%s/%s: setup: %w", prof.Name, kind, err)
+	}
+	runner := core.NewRunner(dev, clock, eff)
+	runner.Pattern = "4 KiB rand rewrite"
+	runner.SpaceUtil = dev.FTL().Utilisation()
+	if err := runner.RunPhase(set.Step, 0, runner.UntilLevel(ftl.PoolB, cfg.MaxLevel)); err != nil {
+		return core.RunReport{}, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+	}
+	return runner.Report(), nil
+}

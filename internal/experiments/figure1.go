@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"flashwear/internal/device"
+	"flashwear/internal/report"
+	"flashwear/internal/workload"
+)
+
+// Figure1Point is one (device, request size) measurement.
+type Figure1Point struct {
+	Device    string
+	ReqBytes  int64
+	SeqMiBps  float64
+	RandMiBps float64
+}
+
+// Figure1 reproduces Figure 1: synchronous write bandwidth versus request
+// size (0.5 KiB – 16 MiB), sequential and random, for the five devices of
+// §4.1. Each (device, pattern) pair runs on a fresh device so garbage
+// collection state does not leak between curves.
+func Figure1(cfg Config) ([]Figure1Point, error) {
+	cfg = cfg.Defaults()
+	maxReq := workload.Figure1Sizes()[len(workload.Figure1Sizes())-1]
+	var out []Figure1Point
+	for _, prof := range device.Figure1Profiles() {
+		cfg.Progress("figure 1: %s", prof.Name)
+		// Bandwidth curves need the device to hold several of the largest
+		// requests; cap the scale per profile accordingly.
+		scale := cfg.Scale
+		if maxScale := prof.CapacityBytes / (4 * maxReq); scale > maxScale {
+			scale = maxScale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		for _, size := range workload.Figure1Sizes() {
+			p := Figure1Point{Device: prof.Name, ReqBytes: size}
+			for _, sequential := range []bool{true, false} {
+				dev, clock, _, err := newDevice(prof, scale)
+				if err != nil {
+					return nil, err
+				}
+				perPoint := int64(2 << 20)
+				if perPoint < 3*size {
+					perPoint = 3 * size
+				}
+				if perPoint > dev.Size()/2 {
+					perPoint = dev.Size() / 2
+				}
+				res, err := workload.Microbench(dev, clock, size, sequential, perPoint, 42)
+				if err != nil {
+					return nil, err
+				}
+				if sequential {
+					p.SeqMiBps = res.MiBps()
+				} else {
+					p.RandMiBps = res.MiBps()
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Figure1Series converts points into per-device curves for one pattern.
+func Figure1Series(points []Figure1Point, sequential bool) []*report.Series {
+	byDev := map[string]*report.Series{}
+	var order []string
+	for _, p := range points {
+		s, ok := byDev[p.Device]
+		if !ok {
+			s = &report.Series{Name: p.Device, XLabel: "req_bytes", YLabel: "MiB/s"}
+			byDev[p.Device] = s
+			order = append(order, p.Device)
+		}
+		y := p.SeqMiBps
+		if !sequential {
+			y = p.RandMiBps
+		}
+		s.Add(float64(p.ReqBytes), y)
+	}
+	out := make([]*report.Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, byDev[name])
+	}
+	return out
+}

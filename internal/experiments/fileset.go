@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"flashwear/internal/fs"
+	"flashwear/internal/workload"
+)
+
+// workloadFileSet aliases the workload type for local helpers.
+type workloadFileSet = workload.FileSet
+
+// newAttackSet builds the paper's file set (4 x 100 MB, 4 KiB synchronous
+// rewrites) at scale.
+func newAttackSet(fsys fs.FileSystem, scale int64) *workload.FileSet {
+	set := workload.NewFileSet(fsys, "/wear", attackFileSize(scale), 1234)
+	set.NumFiles = 4
+	set.ReqBytes = 4096
+	set.SyncEvery = 1
+	return set
+}

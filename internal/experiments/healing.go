@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"flashwear/internal/device"
+	"flashwear/internal/workload"
+)
+
+// HealingRow is one variant of the self-healing extension study.
+type HealingRow struct {
+	Variant string
+	// PhysicalWearPct is the chips' mean *effective* wear after the
+	// duty-cycled workload — erase stress net of detrapping. (The JEDEC
+	// indicator counts raw erases and cannot see healing; the physics
+	// can.)
+	PhysicalWearPct float64
+}
+
+// Healing runs the §2.2 extension: "over a long period, flash can heal as
+// trapped charge dissipates". The same bursty workload (write a burst, idle
+// for hours, repeat) runs on a normal chip and on one that detraps while
+// idle; the healing chip ends with measurably less consumed life. Shipping
+// mobile firmware does not rely on this ("not yet widely used"), which is
+// why the main experiments leave it off.
+func Healing(cfg Config) ([]HealingRow, error) {
+	cfg = cfg.Defaults()
+	var out []HealingRow
+	for _, healRate := range []float64{0, 25} {
+		prof := device.ProfileEMMC8()
+		prof.RatedPE = 300 // short-lived variant keeps the study quick
+		prof.FirmwareRatedPE = 300
+		prof.HealPerIdleHour = healRate
+		dev, clock, _, err := newDevice(prof, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		w := workload.NewDeviceWriter(dev, 4096, false, 61)
+		w.RegionLen = dev.Size() / 16
+		// Duty cycle: burst 32 MiB, then idle 12 simulated hours.
+		for cycle := 0; cycle < 40; cycle++ {
+			var burst int64
+			for burst < 32<<20 {
+				n, err := w.Step(4 << 20)
+				burst += n
+				if err != nil {
+					return nil, err
+				}
+			}
+			clock.Advance(12 * time.Hour)
+		}
+		variant := "no healing"
+		if healRate > 0 {
+			variant = "heal-leveling on"
+		}
+		out = append(out, HealingRow{
+			Variant:         variant,
+			PhysicalWearPct: dev.FTL().MainChip().AvgWear() * 100,
+		})
+	}
+	return out, nil
+}

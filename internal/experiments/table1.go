@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flashwear/internal/core"
+	"flashwear/internal/device"
+	"flashwear/internal/ftl"
+	"flashwear/internal/workload"
+)
+
+// Table1 reproduces Table 1: the hybrid eMMC 16GB's two wear-out
+// indicators over a sequence of workload phases that vary the I/O pattern
+// (4 KiB random / 128 KiB sequential) and the space utilisation (0%, 50%,
+// 90%, and rewrites aimed at the utilised space). The Type B indicator
+// climbs steadily in every phase; Type A wears ~6x slower until the pools
+// merge under high utilisation and fragmentation, after which it
+// accelerates sharply.
+//
+// The workload runs directly on the device (the paper ran it over ext4 on
+// a Linux host; the raw form isolates the firmware behaviour the table is
+// about — see EXPERIMENTS.md).
+func Table1(cfg Config) (core.RunReport, error) {
+	cfg = cfg.Defaults()
+	dev, clock, eff, err := newDevice(device.ProfileEMMC16(), cfg.Scale)
+	if err != nil {
+		return core.RunReport{}, err
+	}
+	runner := core.NewRunner(dev, clock, eff)
+
+	// The "0%" phases rewrite a bounded working set (the file experiment's
+	// ~400 MB footprint, ~2.5% of the device), in the free space past any
+	// static fill.
+	hotSpan := dev.Size() / 40
+	var filled int64 // bytes of static data at the front of the LBA space
+
+	fillTo := func(frac float64) error {
+		target := int64(float64(dev.Size())*frac) &^ 4095 // page aligned
+		if target > filled {
+			w := workload.NewDeviceWriter(dev, 1<<20, true, 7)
+			w.RegionOff = filled
+			w.RegionLen = target - filled
+			if w.RegionLen >= 1<<20 {
+				if _, err := w.Step(target - filled); err != nil {
+					return err
+				}
+			}
+			filled = target
+			return nil
+		}
+		if target < filled {
+			if err := dev.Discard(target, filled-target); err != nil {
+				return err
+			}
+			filled = target
+		}
+		return nil
+	}
+
+	type phase struct {
+		pattern   string
+		reqBytes  int64
+		seq       bool
+		util      float64
+		rewriting bool // aim at the utilised space instead of free space
+		untilB    int
+	}
+	phases := []phase{
+		{"4 KiB rand", 4096, false, 0, false, 2},
+		{"4 KiB rand", 4096, false, 0, false, 3},
+		{"128 KiB seq", 128 << 10, true, 0, false, 4},
+		{"128 KiB seq", 128 << 10, true, 0, false, 5},
+		{"4 KiB rand", 4096, false, 0, false, 6},
+		{"4 KiB rand", 4096, false, 0.90, false, 7},
+		{"4 KiB rand", 4096, false, 0.50, false, 8},
+		{"4 KiB rand rewrite", 4096, false, 0.90, true, 10},
+	}
+	for i, ph := range phases {
+		if cfg.MaxLevel < ph.untilB {
+			break
+		}
+		cfg.Progress("table 1 phase %d: %s @ %.0f%%", i+1, ph.pattern, ph.util*100)
+		if err := fillTo(ph.util); err != nil {
+			return core.RunReport{}, fmt.Errorf("table1 phase %d fill: %w", i+1, err)
+		}
+		w := workload.NewDeviceWriter(dev, ph.reqBytes, ph.seq, int64(100+i))
+		if ph.rewriting {
+			// Rewrites aimed at the large utilised space (Table 1's
+			// final phases).
+			w.RegionOff = 0
+			w.RegionLen = filled
+		} else {
+			// Writes confined to a hot region in the free space.
+			w.RegionOff = filled
+			w.RegionLen = hotSpan
+			if w.RegionOff+w.RegionLen > dev.Size() {
+				w.RegionLen = dev.Size() - w.RegionOff
+			}
+		}
+		runner.Pattern = ph.pattern
+		runner.SpaceUtil = ph.util
+		if err := runner.RunPhase(w.Step, 0, runner.UntilLevel(ftl.PoolB, ph.untilB)); err != nil {
+			return core.RunReport{}, fmt.Errorf("table1 phase %d: %w", i+1, err)
+		}
+		if dev.Bricked() {
+			break
+		}
+	}
+	return runner.Report(), nil
+}

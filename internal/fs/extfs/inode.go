@@ -1,0 +1,122 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inode modes.
+const (
+	modeFree = 0
+	modeFile = 1
+	modeDir  = 2
+)
+
+// inode is the in-memory form of a 256-byte on-disk inode.
+type inode struct {
+	ino   uint32
+	mode  uint16
+	links uint16
+	size  int64
+	mtime int64 // simulated nanoseconds; advisory only
+
+	direct    [NDirect]uint32
+	indirect  uint32
+	dindirect uint32
+
+	// hardDirty: allocation/size/link changes that must be journaled for
+	// consistency. softDirty: timestamp-only changes that lazytime defers.
+	hardDirty bool
+	softDirty bool
+}
+
+func (in *inode) encodeInto(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], in.mode)
+	le.PutUint16(b[2:], in.links)
+	le.PutUint64(b[4:], uint64(in.size))
+	le.PutUint64(b[12:], uint64(in.mtime))
+	for i, p := range in.direct {
+		le.PutUint32(b[20+4*i:], p)
+	}
+	le.PutUint32(b[20+4*NDirect:], in.indirect)
+	le.PutUint32(b[24+4*NDirect:], in.dindirect)
+}
+
+func decodeInode(ino uint32, b []byte) *inode {
+	le := binary.LittleEndian
+	in := &inode{
+		ino:   ino,
+		mode:  le.Uint16(b[0:]),
+		links: le.Uint16(b[2:]),
+		size:  int64(le.Uint64(b[4:])),
+		mtime: int64(le.Uint64(b[12:])),
+	}
+	for i := range in.direct {
+		in.direct[i] = le.Uint32(b[20+4*i:])
+	}
+	in.indirect = le.Uint32(b[20+4*NDirect:])
+	in.dindirect = le.Uint32(b[24+4*NDirect:])
+	return in
+}
+
+// itableBlockOf returns the inode-table block and byte offset for an inode.
+func (v *FS) itableBlockOf(ino uint32) (blk uint32, off int, err error) {
+	if ino < 1 || ino >= v.sb.inodeCount {
+		return 0, 0, fmt.Errorf("%w: inode %d out of range", ErrCorrupt, ino)
+	}
+	return v.sb.itableStart + ino/InodesPerBlock, int(ino%InodesPerBlock) * InodeSize, nil
+}
+
+// loadInode fetches an inode through the cache.
+func (v *FS) loadInode(ino uint32) (*inode, error) {
+	if in, ok := v.inodes[ino]; ok {
+		return in, nil
+	}
+	blk, off, err := v.itableBlockOf(ino)
+	if err != nil {
+		return nil, err
+	}
+	b, err := v.readMeta(blk)
+	if err != nil {
+		return nil, err
+	}
+	in := decodeInode(ino, b[off:off+InodeSize])
+	v.inodes[ino] = in
+	return in, nil
+}
+
+// flushInode serialises an inode into its (cached) table block and stages
+// that block for journaling.
+func (v *FS) flushInode(in *inode) error {
+	blk, off, err := v.itableBlockOf(in.ino)
+	if err != nil {
+		return err
+	}
+	b, err := v.readMeta(blk)
+	if err != nil {
+		return err
+	}
+	in.encodeInto(b[off : off+InodeSize])
+	v.stageMeta(blk, b)
+	in.hardDirty = false
+	in.softDirty = false
+	return nil
+}
+
+// allocInode finds a free inode slot, marks it allocated with the given
+// mode, and returns it.
+func (v *FS) allocInode(mode uint16) (*inode, error) {
+	for ino := uint32(1); ino < v.sb.inodeCount; ino++ {
+		in, err := v.loadInode(ino)
+		if err != nil {
+			return nil, err
+		}
+		if in.mode == modeFree {
+			*in = inode{ino: ino, mode: mode, links: 1, hardDirty: true}
+			in.mtime = v.nowNanos()
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("extfs: out of inodes")
+}

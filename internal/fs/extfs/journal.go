@@ -1,0 +1,229 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Physical-block journaling, jbd2-style: each transaction is a descriptor
+// block listing home addresses, full copies of the staged metadata blocks,
+// and a commit block. Checkpointing (writing the blocks to their home
+// locations) is lazy: it happens when the journal fills, at unmount, or
+// during replay after a crash.
+
+const (
+	jsupMagic = 0x4A535550 // "JSUP"
+	jdscMagic = 0x4A445343 // "JDSC"
+	jcmtMagic = 0x4A434D54 // "JCMT"
+
+	// maxTxnBlocks bounds one transaction's staged blocks so a descriptor
+	// block can always list them.
+	maxTxnBlocks = (BlockSize - 16) / 4
+)
+
+// journalSuper is the first block of the journal region.
+type journalSuper struct {
+	seq uint64 // sequence number of the first transaction in the log
+}
+
+func (j journalSuper) encode() []byte {
+	b := make([]byte, BlockSize)
+	binary.LittleEndian.PutUint32(b[0:], jsupMagic)
+	binary.LittleEndian.PutUint64(b[8:], j.seq)
+	return b
+}
+
+func decodeJournalSuper(b []byte) (journalSuper, error) {
+	if binary.LittleEndian.Uint32(b[0:]) != jsupMagic {
+		return journalSuper{}, fmt.Errorf("%w: bad journal superblock", ErrCorrupt)
+	}
+	return journalSuper{seq: binary.LittleEndian.Uint64(b[8:])}, nil
+}
+
+// stageMeta records a metadata block into the running transaction (and the
+// cache). The slice is retained; callers must not reuse it.
+func (v *FS) stageMeta(blk uint32, b []byte) {
+	v.meta[blk] = b
+	v.txn[blk] = b
+}
+
+// readMeta returns the current content of a metadata block, preferring the
+// running transaction, then journaled-uncheckpointed state, then the cache,
+// then the device.
+func (v *FS) readMeta(blk uint32) ([]byte, error) {
+	if b, ok := v.txn[blk]; ok {
+		return b, nil
+	}
+	if b, ok := v.pending[blk]; ok {
+		return b, nil
+	}
+	if b, ok := v.meta[blk]; ok {
+		return b, nil
+	}
+	b, err := readBlock(v.dev, blk)
+	if err != nil {
+		return nil, err
+	}
+	v.meta[blk] = b
+	return b, nil
+}
+
+// jEnd returns the first block past the journal region.
+func (v *FS) jEnd() uint32 { return v.sb.jStart + v.sb.jBlks }
+
+// commit writes the running transaction to the journal and issues a
+// barrier. With an empty transaction it degenerates to a pure barrier —
+// the lazytime fsync fast path.
+func (v *FS) commit() error {
+	if len(v.txn) == 0 {
+		return v.dev.Flush()
+	}
+	if len(v.txn) > maxTxnBlocks {
+		// Absurdly large transaction; split by checkpointing directly.
+		// (Cannot happen with the small metadata footprint of this FS,
+		// but stay safe.)
+		for blk, b := range v.txn {
+			if err := writeBlock(v.dev, blk, b); err != nil {
+				return err
+			}
+			delete(v.txn, blk)
+		}
+		return v.dev.Flush()
+	}
+	need := uint32(len(v.txn) + 2)
+	if v.jHead+need > v.jEnd() {
+		if err := v.checkpoint(); err != nil {
+			return err
+		}
+	}
+	// Descriptor.
+	desc := make([]byte, BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(desc[0:], jdscMagic)
+	le.PutUint64(desc[4:], v.jSeq)
+	le.PutUint32(desc[12:], uint32(len(v.txn)))
+	homes := make([]uint32, 0, len(v.txn))
+	for blk := range v.txn {
+		homes = append(homes, blk)
+	}
+	for i, h := range homes {
+		le.PutUint32(desc[16+4*i:], h)
+	}
+	if err := writeBlock(v.dev, v.jHead, desc); err != nil {
+		return err
+	}
+	v.jHead++
+	// Block copies.
+	for _, h := range homes {
+		if err := writeBlock(v.dev, v.jHead, v.txn[h]); err != nil {
+			return err
+		}
+		v.jHead++
+	}
+	// Commit record.
+	cmt := make([]byte, BlockSize)
+	le.PutUint32(cmt[0:], jcmtMagic)
+	le.PutUint64(cmt[4:], v.jSeq)
+	if err := writeBlock(v.dev, v.jHead, cmt); err != nil {
+		return err
+	}
+	v.jHead++
+	v.jSeq++
+	v.statJournalCommits++
+	if err := v.dev.Flush(); err != nil {
+		return err
+	}
+	// Transaction is durable; move to pending checkpoint state.
+	for blk, b := range v.txn {
+		v.pending[blk] = b
+	}
+	v.txn = make(map[uint32][]byte)
+	return nil
+}
+
+// checkpoint writes all journaled blocks to their home locations and resets
+// the journal head.
+func (v *FS) checkpoint() error {
+	for blk, b := range v.pending {
+		if err := writeBlock(v.dev, blk, b); err != nil {
+			return err
+		}
+		v.statCheckpointWrites++
+	}
+	if err := v.dev.Flush(); err != nil {
+		return err
+	}
+	v.pending = make(map[uint32][]byte)
+	if err := v.drainQuarantine(); err != nil {
+		return err
+	}
+	v.jHead = v.sb.jStart + 1
+	jsb := journalSuper{seq: v.jSeq}
+	if err := writeBlock(v.dev, v.sb.jStart, jsb.encode()); err != nil {
+		return err
+	}
+	return v.dev.Flush()
+}
+
+// replay applies committed journal transactions after an unclean shutdown
+// and resets the journal. It returns the number of transactions applied.
+func (v *FS) replay() (int, error) {
+	jb, err := readBlock(v.dev, v.sb.jStart)
+	if err != nil {
+		return 0, err
+	}
+	jsb, err := decodeJournalSuper(jb)
+	if err != nil {
+		return 0, err
+	}
+	le := binary.LittleEndian
+	pos := v.sb.jStart + 1
+	seq := jsb.seq
+	applied := 0
+	for pos < v.jEnd() {
+		db, err := readBlock(v.dev, pos)
+		if err != nil {
+			break
+		}
+		if le.Uint32(db[0:]) != jdscMagic || le.Uint64(db[4:]) != seq {
+			break
+		}
+		count := le.Uint32(db[12:])
+		if count == 0 || count > maxTxnBlocks || pos+count+1 >= v.jEnd() {
+			break
+		}
+		// Verify the commit record before applying anything.
+		cb, err := readBlock(v.dev, pos+count+1)
+		if err != nil {
+			break
+		}
+		if le.Uint32(cb[0:]) != jcmtMagic || le.Uint64(cb[4:]) != seq {
+			break // crashed mid-transaction: discard
+		}
+		for i := uint32(0); i < count; i++ {
+			home := le.Uint32(db[16+4*i:])
+			if home >= v.sb.totalBlocks {
+				return applied, fmt.Errorf("%w: journal home %d out of range", ErrCorrupt, home)
+			}
+			body, err := readBlock(v.dev, pos+1+i)
+			if err != nil {
+				return applied, err
+			}
+			if err := writeBlock(v.dev, home, body); err != nil {
+				return applied, err
+			}
+		}
+		pos += count + 2
+		seq++
+		applied++
+	}
+	if err := v.dev.Flush(); err != nil {
+		return applied, err
+	}
+	v.jSeq = seq
+	v.jHead = v.sb.jStart + 1
+	if err := writeBlock(v.dev, v.sb.jStart, journalSuper{seq: seq}.encode()); err != nil {
+		return applied, err
+	}
+	return applied, v.dev.Flush()
+}

@@ -1,0 +1,173 @@
+// Package extfs implements an ext4-like journaling file system on a
+// blockdev.Device: bitmap allocation, an inode table with direct, indirect
+// and double-indirect block pointers, hierarchical directories, and a
+// physical-block journal in ordered mode (data written in place before the
+// metadata that references it commits), with lazy checkpointing and replay
+// on mount.
+//
+// Like Android's ext4 mounts, pure in-place overwrites that change only an
+// inode's timestamps do not force a journal transaction per fsync
+// (lazytime); this is why the paper's Figure 4 finds ext4 wear close to the
+// raw device while F2FS doubles it.
+package extfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flashwear/internal/blockdev"
+)
+
+// On-disk constants.
+const (
+	BlockSize = 4096
+	Magic     = 0x46574558 // "XEWF"
+	Version   = 1
+
+	InodeSize      = 256
+	InodesPerBlock = BlockSize / InodeSize
+
+	// RootIno is the root directory's inode number. Inode 0 is reserved
+	// as "invalid".
+	RootIno = 1
+
+	// Pointer geometry.
+	NDirect    = 12
+	PtrSize    = 4
+	PtrsPerBlk = BlockSize / PtrSize
+
+	// MaxFileBlocks is the largest mappable file in blocks.
+	MaxFileBlocks = NDirect + PtrsPerBlk + PtrsPerBlk*PtrsPerBlk
+)
+
+// Superblock state flags.
+const (
+	stateClean   = 1
+	stateMounted = 2
+)
+
+var (
+	// ErrNotExtfs means the device does not carry an extfs superblock.
+	ErrNotExtfs = errors.New("extfs: bad magic (not an extfs volume)")
+	// ErrCorrupt covers structurally invalid on-disk state.
+	ErrCorrupt = errors.New("extfs: corrupt volume")
+)
+
+// superblock is block 0.
+type superblock struct {
+	magic       uint32
+	version     uint32
+	totalBlocks uint32 // whole volume, in 4 KiB blocks
+	inodeCount  uint32
+	bitmapStart uint32
+	bitmapBlks  uint32
+	itableStart uint32
+	itableBlks  uint32
+	jStart      uint32
+	jBlks       uint32
+	dataStart   uint32
+	state       uint32
+}
+
+func (sb *superblock) encode() []byte {
+	b := make([]byte, BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], sb.magic)
+	le.PutUint32(b[4:], sb.version)
+	le.PutUint32(b[8:], sb.totalBlocks)
+	le.PutUint32(b[12:], sb.inodeCount)
+	le.PutUint32(b[16:], sb.bitmapStart)
+	le.PutUint32(b[20:], sb.bitmapBlks)
+	le.PutUint32(b[24:], sb.itableStart)
+	le.PutUint32(b[28:], sb.itableBlks)
+	le.PutUint32(b[32:], sb.jStart)
+	le.PutUint32(b[36:], sb.jBlks)
+	le.PutUint32(b[40:], sb.dataStart)
+	le.PutUint32(b[44:], sb.state)
+	return b
+}
+
+func decodeSuperblock(b []byte) (*superblock, error) {
+	le := binary.LittleEndian
+	sb := &superblock{
+		magic:       le.Uint32(b[0:]),
+		version:     le.Uint32(b[4:]),
+		totalBlocks: le.Uint32(b[8:]),
+		inodeCount:  le.Uint32(b[12:]),
+		bitmapStart: le.Uint32(b[16:]),
+		bitmapBlks:  le.Uint32(b[20:]),
+		itableStart: le.Uint32(b[24:]),
+		itableBlks:  le.Uint32(b[28:]),
+		jStart:      le.Uint32(b[32:]),
+		jBlks:       le.Uint32(b[36:]),
+		dataStart:   le.Uint32(b[40:]),
+		state:       le.Uint32(b[44:]),
+	}
+	if sb.magic != Magic {
+		return nil, ErrNotExtfs
+	}
+	if sb.version != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, sb.version)
+	}
+	if sb.dataStart >= sb.totalBlocks || sb.jStart >= sb.totalBlocks {
+		return nil, fmt.Errorf("%w: layout out of range", ErrCorrupt)
+	}
+	return sb, nil
+}
+
+// computeLayout derives the region sizes for a device.
+func computeLayout(deviceBytes int64) (*superblock, error) {
+	total := uint32(deviceBytes / BlockSize)
+	if total < 64 {
+		return nil, fmt.Errorf("extfs: device too small: %d blocks", total)
+	}
+	// One inode per 8 data blocks, at least 64.
+	inodes := total / 8
+	if inodes < 64 {
+		inodes = 64
+	}
+	itableBlks := (inodes + InodesPerBlock - 1) / InodesPerBlock
+	// Bitmap covers the whole volume (simplest addressing).
+	bitmapBlks := (total + BlockSize*8 - 1) / (BlockSize * 8)
+	// Journal: 1/64 of the volume, clamped to [8, 1024] blocks.
+	jBlks := total / 64
+	if jBlks < 8 {
+		jBlks = 8
+	}
+	if jBlks > 1024 {
+		jBlks = 1024
+	}
+	sb := &superblock{
+		magic:       Magic,
+		version:     Version,
+		totalBlocks: total,
+		inodeCount:  itableBlks * InodesPerBlock,
+		bitmapStart: 1,
+	}
+	sb.bitmapBlks = bitmapBlks
+	sb.itableStart = sb.bitmapStart + bitmapBlks
+	sb.itableBlks = itableBlks
+	sb.jStart = sb.itableStart + itableBlks
+	sb.jBlks = jBlks
+	sb.dataStart = sb.jStart + jBlks
+	if sb.dataStart+16 > total {
+		return nil, fmt.Errorf("extfs: device too small after metadata: %d data blocks",
+			int64(total)-int64(sb.dataStart))
+	}
+	return sb, nil
+}
+
+// readBlock reads one 4 KiB block.
+func readBlock(d blockdev.Device, blk uint32) ([]byte, error) {
+	b := make([]byte, BlockSize)
+	if err := d.ReadAt(b, int64(blk)*BlockSize); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// writeBlock writes one 4 KiB block.
+func writeBlock(d blockdev.Device, blk uint32, b []byte) error {
+	return d.WriteAt(b, int64(blk)*BlockSize)
+}

@@ -1,0 +1,80 @@
+package f2fs
+
+import (
+	"testing"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/device"
+	"flashwear/internal/fs"
+	"flashwear/internal/fs/fstest"
+	"flashwear/internal/simclock"
+)
+
+// TestConformance runs the shared fs.FileSystem contract suite on f2fs.
+func TestConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fs.FileSystem {
+		dev, err := blockdev.NewMem(24<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+}
+
+// TestCrashConformance runs the shared crash-consistency suite on f2fs,
+// with the offline checker after every recovery.
+func TestCrashConformance(t *testing.T) {
+	var dev *blockdev.MemDevice
+	fstest.RunCrash(t, func(t *testing.T) (fstest.CrashFS, func(t *testing.T) fstest.CrashFS) {
+		d, err := blockdev.NewMem(24<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev = d
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		mount := func(t *testing.T) fstest.CrashFS {
+			v, err := Mount(dev, fs.Options{})
+			if err != nil {
+				t.Fatalf("remount: %v", err)
+			}
+			return v
+		}
+		return mount(t), mount
+	}, func(t *testing.T) {
+		rep, err := Check(dev)
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("check after recovery: %v", rep.Corruptions)
+		}
+	})
+}
+
+// TestConformanceOnFlash runs the contract suite with f2fs mounted on a
+// real simulated flash device — the log-on-log stack a phone actually runs.
+func TestConformanceOnFlash(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fs.FileSystem {
+		dev, err := device.New(device.ProfileMotoE8().Scaled(256), simclock.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+}

@@ -1,0 +1,90 @@
+package f2fs
+
+import (
+	"testing"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/fs"
+)
+
+// TestFaultInjectionNoPanics drives f2fs over devices that fail after N
+// operations for a sweep of N: operations must fail cleanly, never panic.
+func TestFaultInjectionNoPanics(t *testing.T) {
+	for _, failAfter := range []int64{1, 5, 25, 100, 500, 2500} {
+		mem, err := blockdev.NewMem(16<<20, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Mkfs(mem); err != nil {
+			t.Fatal(err)
+		}
+		dev := blockdev.NewFaulty(mem, failAfter)
+		v, err := Mount(dev, fs.Options{})
+		if err != nil {
+			continue // clean mount failure
+		}
+		f, err := v.Create("/x")
+		if err != nil {
+			continue
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := f.WriteAt(make([]byte, BlockSize), int64(i%20)*BlockSize); err != nil {
+				break
+			}
+			if err := f.Sync(); err != nil {
+				break
+			}
+		}
+		_ = v.Sync() // checkpoint on a failing device must not panic either
+	}
+}
+
+// TestCheckpointedDataSurvivesDeviceFailure: data checkpointed before the
+// failure is readable from the underlying (healthy) device afterwards.
+func TestCheckpointedDataSurvivesDeviceFailure(t *testing.T) {
+	mem, _ := blockdev.NewMem(16<<20, 512)
+	if err := Mkfs(mem); err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.NewFaulty(mem, 1<<60)
+	v, err := Mount(dev, fs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.Create("/precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 3*BlockSize)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil { // full checkpoint
+		t.Fatal(err)
+	}
+	dev.FailAfter = 1 // ops already past 1: everything fails now
+	if _, err := f.WriteAt(payload, 10*BlockSize); err == nil {
+		t.Fatal("write on failing device succeeded")
+	}
+	// Remount the healthy underlying device; the checkpoint must be intact.
+	v2, err := Mount(mem, fs.Options{})
+	if err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	f2, err := v2.Open("/precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i*3) {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}

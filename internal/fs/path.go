@@ -1,0 +1,44 @@
+package fs
+
+import "strings"
+
+// SplitPath normalises an absolute slash-separated path into components.
+// "/" and "" yield an empty slice (the root). It returns ErrBadName for
+// components that are empty, ".", "..", or overlong.
+func SplitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, c := range parts {
+		if err := CheckName(c); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// MaxNameLen is the longest permitted path component.
+const MaxNameLen = 200
+
+// CheckName validates a single path component.
+func CheckName(name string) error {
+	if name == "" || name == "." || name == ".." || len(name) > MaxNameLen ||
+		strings.ContainsAny(name, "/\x00") {
+		return ErrBadName
+	}
+	return nil
+}
+
+// Dir and Base split a path into its parent and final component.
+func DirBase(path string) (dir string, base string, err error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return "", "", err
+	}
+	if len(parts) == 0 {
+		return "", "", ErrBadName
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/"), parts[len(parts)-1], nil
+}

@@ -1,0 +1,219 @@
+package ftl
+
+import (
+	"errors"
+
+	"flashwear/internal/nand"
+)
+
+// cachePool models the small high-endurance "Type A" memory as firmware
+// actually manages it in mobile parts: a circular log of SLC-mode blocks.
+// Writes append at the head; a drain process scans the tail in FIFO order,
+// migrating still-valid pages to the main pool and erasing fully-scanned
+// blocks. There is no garbage collection — space is reclaimed strictly in
+// ring order — so cache wear is proportional to the pages it absorbs, which
+// is what lets Table 1's Type A / Type B wear ratio emerge from mechanism
+// rather than curve fitting.
+type cachePool struct {
+	chip *nand.Chip
+	ppb  int
+
+	ring []int // usable block indices in ring order (bad blocks removed)
+	head int   // ring position being filled
+	tail int   // ring position being drained
+	used int   // blocks in [tail, head] holding data (head inclusive once written)
+
+	headPage int // next free page in the head block
+	tailPage int // next page to scan in the tail block
+
+	rmap  []int32 // physical page -> logical page, -1 if dead
+	valid []int32
+}
+
+func newCachePool(chip *nand.Chip) *cachePool {
+	g := chip.Geometry()
+	c := &cachePool{
+		chip:  chip,
+		ppb:   g.PagesPerBlock,
+		rmap:  make([]int32, g.Blocks()*g.PagesPerBlock),
+		valid: make([]int32, g.Blocks()),
+	}
+	for i := range c.rmap {
+		c.rmap[i] = -1
+	}
+	for b := 0; b < g.Blocks(); b++ {
+		c.ring = append(c.ring, b)
+	}
+	return c
+}
+
+// alive reports whether the cache still has usable blocks.
+func (c *cachePool) alive() bool { return len(c.ring) >= 2 }
+
+// pages returns the cache's total usable page count.
+func (c *cachePool) pages() int { return len(c.ring) * c.ppb }
+
+// content reports whether any block holds data awaiting drain.
+func (c *cachePool) content() bool { return c.used > 0 || c.headPage > 0 }
+
+// hasFreeSlot reports whether a write can be absorbed right now: the head
+// block has a free page, or the ring has an erased block to advance into.
+func (c *cachePool) hasFreeSlot() bool {
+	if !c.alive() {
+		return false
+	}
+	if c.headPage < c.ppb {
+		return true
+	}
+	return c.used < len(c.ring)-1 // keep one block gap between head and tail
+}
+
+// program appends one page at the head. Callers must check hasFreeSlot.
+func (c *cachePool) program(lp int32, data []byte, cost *Cost) (loc, error) {
+	for attempts := 0; attempts < 4; attempts++ {
+		if !c.hasFreeSlot() {
+			return noLoc, ErrNoSpace
+		}
+		if c.headPage >= c.ppb {
+			c.head = (c.head + 1) % len(c.ring)
+			c.headPage = 0
+			c.used++
+		}
+		b := c.ring[c.head]
+		addr := nand.PageAddr{Block: b, Page: c.headPage}
+		_, err := c.chip.ProgramPage(addr, data)
+		cost.Programs++
+		c.headPage++
+		if err == nil {
+			c.rmap[b*c.ppb+addr.Page] = lp
+			c.valid[b]++
+			return makeLoc(PoolA, b, addr.Page), nil
+		}
+		if errors.Is(err, nand.ErrProgramFail) {
+			continue // page wasted; try the next slot
+		}
+		return noLoc, err
+	}
+	return noLoc, ErrNoSpace
+}
+
+// invalidate drops a cache page from the valid set.
+func (c *cachePool) invalidate(l loc) {
+	idx := l.block()*c.ppb + l.page()
+	if c.rmap[idx] < 0 {
+		return
+	}
+	c.rmap[idx] = -1
+	c.valid[l.block()]--
+}
+
+// read returns the payload at l.
+func (c *cachePool) read(l loc, cost *Cost) ([]byte, error) {
+	data, _, err := c.chip.ReadPage(nand.PageAddr{Block: l.block(), Page: l.page()})
+	cost.Reads++
+	return data, err
+}
+
+// drainOne advances the tail scan by one page. If that page is still valid,
+// it returns its logical page and payload for the owner to rewrite into the
+// main pool; otherwise (dead page, or nothing to drain) it returns lp = -1.
+// Fully scanned tail blocks are erased and rejoin the ring.
+func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
+	if !c.content() {
+		return -1, nil, nil
+	}
+	if c.used == 0 {
+		// Only the head block holds data. If it is completely filled it
+		// can be closed and drained like any other; a block still being
+		// filled is left alone.
+		if c.headPage < c.ppb || len(c.ring) < 2 {
+			return -1, nil, nil
+		}
+		c.head = (c.head + 1) % len(c.ring)
+		c.headPage = 0
+		c.used++
+	}
+	b := c.ring[c.tail]
+	if c.tail == c.head {
+		// Should not happen while used > 0; be safe.
+		return -1, nil, nil
+	}
+	idx := b*c.ppb + c.tailPage
+	lp = c.rmap[idx]
+	if lp >= 0 {
+		data, err = c.read(makeLoc(PoolA, b, c.tailPage), cost)
+		if err != nil {
+			// Uncorrectable: the page's data is lost.
+			c.rmap[idx] = -1
+			c.valid[b]--
+			lp = -2 // signal loss to the owner
+			data = nil
+			err = nil
+		}
+	}
+	c.tailPage++
+	if c.tailPage >= c.ppb {
+		c.eraseTail(cost)
+	}
+	return lp, data, nil
+}
+
+// eraseTail erases the fully scanned tail block and advances the tail.
+func (c *cachePool) eraseTail(cost *Cost) {
+	b := c.ring[c.tail]
+	base := b * c.ppb
+	for pg := 0; pg < c.ppb; pg++ {
+		c.rmap[base+pg] = -1
+	}
+	c.valid[b] = 0
+	_, err := c.chip.EraseBlock(b)
+	cost.Erases++
+	pos := c.tail
+	c.tail = (c.tail + 1) % len(c.ring)
+	c.tailPage = 0
+	c.used--
+	if err != nil || c.chip.ShouldRetire(b) {
+		c.chip.MarkBad(b)
+		c.removeFromRing(pos)
+	}
+}
+
+// removeFromRing drops the block at ring position pos, fixing up head/tail
+// positions.
+func (c *cachePool) removeFromRing(pos int) {
+	c.ring = append(c.ring[:pos], c.ring[pos+1:]...)
+	if len(c.ring) == 0 {
+		c.head, c.tail = 0, 0
+		return
+	}
+	if c.head > pos {
+		c.head--
+	} else if c.head >= len(c.ring) {
+		c.head = 0
+	}
+	if c.tail > pos {
+		c.tail--
+	} else if c.tail >= len(c.ring) {
+		c.tail = 0
+	}
+}
+
+// validPages returns the number of live pages held in the cache.
+func (c *cachePool) validPages() int64 {
+	var n int64
+	for _, v := range c.valid {
+		n += int64(v)
+	}
+	return n
+}
+
+// utilisation returns the fraction of cache pages holding data (valid or
+// dead-but-not-yet-drained).
+func (c *cachePool) utilisation() float64 {
+	if !c.alive() {
+		return 1
+	}
+	pagesInUse := c.used * c.ppb
+	pagesInUse += c.headPage
+	return float64(pagesInUse) / float64(c.pages())
+}

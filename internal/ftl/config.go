@@ -1,0 +1,175 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flashwear/internal/nand"
+)
+
+// GCPolicy selects the garbage-collection victim policy.
+type GCPolicy int
+
+const (
+	// GCGreedy picks the full block with the fewest valid pages — minimal
+	// copy work now, the common choice in simple mobile controllers.
+	GCGreedy GCPolicy = iota
+	// GCCostBenefit weighs reclaimable space against block age
+	// (Rosenblum-style (1-u)/(1+u) * age), better under skewed workloads.
+	GCCostBenefit
+)
+
+// String implements fmt.Stringer.
+func (p GCPolicy) String() string {
+	switch p {
+	case GCGreedy:
+		return "greedy"
+	case GCCostBenefit:
+		return "cost-benefit"
+	default:
+		return fmt.Sprintf("GCPolicy(%d)", int(p))
+	}
+}
+
+// WearLeveling configures the two wear-leveling mechanisms (§2.2's primary
+// lifetime-extension direction).
+type WearLeveling struct {
+	// Dynamic allocation picks the least-worn free block for new writes.
+	Dynamic bool
+	// Static periodically relocates cold data out of barely-worn blocks so
+	// they rejoin the hot rotation.
+	Static bool
+	// StaticThreshold triggers static wear-leveling when the spread
+	// between the most- and least-erased blocks exceeds this many cycles.
+	// Defaults to 64.
+	StaticThreshold int
+	// StaticInterval is the number of erases between static-WL checks.
+	// Defaults to 256.
+	StaticInterval int
+}
+
+// DefaultWearLeveling enables both mechanisms with typical parameters.
+func DefaultWearLeveling() WearLeveling {
+	return WearLeveling{Dynamic: true, Static: true, StaticThreshold: 64, StaticInterval: 256}
+}
+
+// HybridConfig describes the two-pool layout of hybrid devices.
+type HybridConfig struct {
+	// CacheChip is the Type A chip configuration (small, high-endurance).
+	CacheChip nand.Config
+	// RouteMaxBytes: only host writes of at most this many bytes are
+	// routed through the cache pool; larger writes stream directly to
+	// Type B. Defaults to 64 KiB.
+	RouteMaxBytes int
+	// DrainRatio is the number of cache pages migrated to Type B per host
+	// page written while the cache is under pressure. Under sustained
+	// load, this is the fraction of host traffic the cache absorbs (the
+	// rest bypasses to Type B). Defaults to 0.08, calibrated to Table 1's
+	// ~6x Type A / Type B wear ratio before merging.
+	DrainRatio float64
+	// DrainWatermark is the cache utilisation above which draining starts.
+	// Defaults to 0.7.
+	DrainWatermark float64
+	// MergeUtilisation: when the exported logical space is this utilised,
+	// the firmware merges the pools — Type A stops bypassing and absorbs
+	// all routed writes as ordinary storage (§4.3's inference). Defaults
+	// to 0.85. Set above 1 to disable merging (ablation).
+	MergeUtilisation float64
+	// MergeFragmentation is the second merge condition (§4.3: "highly
+	// utilized and fragmented"): the fraction of full main-pool blocks
+	// holding at least one dead page. Defaults to 0.4.
+	MergeFragmentation float64
+}
+
+// Config assembles an FTL instance.
+type Config struct {
+	// MainChip is the Type B (or only) chip configuration.
+	MainChip nand.Config
+	// Hybrid, when non-nil, adds a Type A cache pool.
+	Hybrid *HybridConfig
+	// OverProvision is the fraction of main-pool capacity withheld from
+	// the exported logical space. Defaults to 0.07 (~7%, the typical
+	// binary/decimal gigabyte gap).
+	OverProvision float64
+	// GC selects the victim policy.
+	GC GCPolicy
+	// GCLowWater / GCHighWater are free-block thresholds per pool:
+	// allocation triggers collection below low water and collects until
+	// high water. Default 4 and 8.
+	GCLowWater  int
+	GCHighWater int
+	// Wear configures wear-leveling. Defaults to DefaultWearLeveling.
+	Wear *WearLeveling
+	// FirmwareRatedPE, when > 0, overrides the per-chip rated endurance
+	// used as the *denominator of the life-time estimate* (vendors apply
+	// margins; the cells and the indicator need not agree). Zero means
+	// use each chip's rated P/E.
+	FirmwareRatedPE int
+}
+
+func (c *Config) setDefaults() {
+	if c.OverProvision == 0 {
+		c.OverProvision = 0.07
+	}
+	if c.GCLowWater == 0 {
+		c.GCLowWater = 4
+	}
+	if c.GCHighWater == 0 {
+		c.GCHighWater = 8
+	}
+	if c.Wear == nil {
+		w := DefaultWearLeveling()
+		c.Wear = &w
+	}
+	if c.Wear.StaticThreshold == 0 {
+		c.Wear.StaticThreshold = 64
+	}
+	if c.Wear.StaticInterval == 0 {
+		c.Wear.StaticInterval = 256
+	}
+	if c.Hybrid != nil {
+		if c.Hybrid.RouteMaxBytes == 0 {
+			c.Hybrid.RouteMaxBytes = 64 << 10
+		}
+		if c.Hybrid.DrainRatio == 0 {
+			c.Hybrid.DrainRatio = 0.08
+		}
+		if c.Hybrid.DrainWatermark == 0 {
+			c.Hybrid.DrainWatermark = 0.7
+		}
+		if c.Hybrid.MergeUtilisation == 0 {
+			c.Hybrid.MergeUtilisation = 0.85
+		}
+		if c.Hybrid.MergeFragmentation == 0 {
+			c.Hybrid.MergeFragmentation = 0.4
+		}
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.OverProvision < 0 || c.OverProvision >= 0.5:
+		return fmt.Errorf("ftl: OverProvision = %g, want [0, 0.5)", c.OverProvision)
+	case c.GCLowWater < 2:
+		return fmt.Errorf("ftl: GCLowWater = %d, want >= 2", c.GCLowWater)
+	case c.GCHighWater <= c.GCLowWater:
+		return fmt.Errorf("ftl: GCHighWater = %d, want > GCLowWater (%d)", c.GCHighWater, c.GCLowWater)
+	case c.GC != GCGreedy && c.GC != GCCostBenefit:
+		return fmt.Errorf("ftl: unknown GC policy %d", c.GC)
+	}
+	if c.Hybrid != nil {
+		h := c.Hybrid
+		switch {
+		case h.RouteMaxBytes < 0:
+			return fmt.Errorf("ftl: hybrid RouteMaxBytes = %d, want >= 0", h.RouteMaxBytes)
+		case h.DrainRatio <= 0 || h.DrainRatio > 1:
+			return fmt.Errorf("ftl: hybrid DrainRatio = %g, want (0, 1]", h.DrainRatio)
+		case h.DrainWatermark <= 0 || h.DrainWatermark >= 1:
+			return fmt.Errorf("ftl: hybrid DrainWatermark = %g, want (0, 1)", h.DrainWatermark)
+		case h.MergeUtilisation <= 0:
+			return fmt.Errorf("ftl: hybrid MergeUtilisation = %g, want > 0", h.MergeUtilisation)
+		case h.MergeFragmentation < 0 || h.MergeFragmentation > 1:
+			return fmt.Errorf("ftl: hybrid MergeFragmentation = %g, want [0,1]", h.MergeFragmentation)
+		}
+	}
+	return nil
+}

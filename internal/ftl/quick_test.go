@@ -1,0 +1,175 @@
+package ftl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashwear/internal/nand"
+)
+
+// TestQuickFTLMatchesModel drives random write/trim/read sequences against
+// both the FTL and a trivial in-memory model, on single-pool and hybrid
+// devices. The FTL must return exactly what the model predicts regardless
+// of GC, wear-leveling, drains, or merges happening underneath.
+func TestQuickFTLMatchesModel(t *testing.T) {
+	run := func(seed int64, hybrid bool) bool {
+		var cfg Config
+		cfg.MainChip = nand.Config{
+			Geometry: nand.Geometry{
+				Dies: 1, PlanesPerDie: 2, BlocksPerPlane: 12,
+				PagesPerBlock: 8, PageSize: 4096,
+			},
+			Cell: nand.MLC, RatedPE: 100_000, Seed: seed,
+		}
+		if hybrid {
+			cfg.Hybrid = &HybridConfig{
+				CacheChip: nand.Config{
+					Geometry: nand.Geometry{
+						Dies: 1, PlanesPerDie: 1, BlocksPerPlane: 4,
+						PagesPerBlock: 8, PageSize: 4096,
+					},
+					Cell: nand.SLC, RatedPE: 100_000, Seed: seed + 1,
+				},
+				DrainRatio:       0.25,
+				MergeUtilisation: 0.8,
+			}
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := f.LogicalPages()
+		model := make(map[int]byte) // lp -> value byte; absent = unmapped
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, 4096)
+		for op := 0; op < 3000; op++ {
+			lp := rng.Intn(n)
+			switch rng.Intn(10) {
+			case 0: // trim
+				if _, err := f.TrimPage(lp); err != nil {
+					t.Fatalf("trim: %v", err)
+				}
+				delete(model, lp)
+			case 1, 2: // read and check
+				data, _, err := f.ReadPage(lp)
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				want, mapped := model[lp]
+				if !mapped {
+					if data != nil {
+						return false
+					}
+					continue
+				}
+				if data == nil || !bytes.Equal(data, bytes.Repeat([]byte{want}, 4096)) {
+					return false
+				}
+			default: // write
+				v := byte(rng.Intn(255) + 1)
+				for i := range buf {
+					buf[i] = v
+				}
+				reqBytes := 4096
+				if rng.Intn(4) == 0 {
+					reqBytes = 1 << 20 // sometimes bypass the cache
+				}
+				if _, err := f.WritePage(lp, buf, reqBytes); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				model[lp] = v
+			}
+		}
+		// Final sweep: every page must match the model.
+		for lp := 0; lp < n; lp++ {
+			data, _, err := f.ReadPage(lp)
+			if err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			want, mapped := model[lp]
+			if !mapped {
+				if data != nil {
+					return false
+				}
+				continue
+			}
+			if data == nil || data[0] != want || data[4095] != want {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64, hybrid bool) bool { return run(seed, hybrid) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWearMonotonic: however the FTL is driven, life consumed never
+// decreases and the indicator never runs backwards.
+func TestQuickWearMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		ftl := newTestFTL(t, func(c *Config) {
+			c.MainChip = testChipCfg(500)
+			c.MainChip.Seed = seed
+		})
+		rng := rand.New(rand.NewSource(seed))
+		lastLife := 0.0
+		lastInd := 0
+		for i := 0; i < 4000; i++ {
+			if _, err := ftl.WritePage(rng.Intn(ftl.LogicalPages()/4), nil, 4096); err != nil {
+				return true // death is allowed; monotonicity checked until then
+			}
+			if life := ftl.LifeConsumed(PoolB); life < lastLife {
+				return false
+			} else {
+				lastLife = life
+			}
+			if ind := ftl.WearIndicator(PoolB); ind < lastInd {
+				return false
+			} else {
+				lastInd = ind
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUtilisationBounded: utilisation tracks mapped pages exactly and
+// stays in [0, 1].
+func TestQuickUtilisationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		ftl := newTestFTL(t, nil)
+		rng := rand.New(rand.NewSource(seed))
+		mapped := map[int]bool{}
+		n := ftl.LogicalPages()
+		for i := 0; i < 2000; i++ {
+			lp := rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				if _, err := ftl.TrimPage(lp); err != nil {
+					return false
+				}
+				delete(mapped, lp)
+			} else {
+				if _, err := ftl.WritePage(lp, nil, 4096); err != nil {
+					return false
+				}
+				mapped[lp] = true
+			}
+			want := float64(len(mapped)) / float64(n)
+			got := ftl.Utilisation()
+			if got < want-1e-9 || got > want+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package mitigation implements the defences §4.5 sketches: exposing the
+// wear indicator to users (S.M.A.R.T.-style health watching), per-app I/O
+// statistics, lifespan-preserving rate limiting, and a heuristic classifier
+// that distinguishes malicious write patterns from benign bursts so only
+// the former are throttled.
+package mitigation
+
+import (
+	"fmt"
+	"time"
+)
+
+// LifespanBudget computes the sustainable write rate for a device: the
+// inverse of §2.3's back-of-the-envelope, used defensively. If the device
+// should survive TargetYears, applications may collectively write at most
+// BytesPerDay per day.
+type LifespanBudget struct {
+	CapacityBytes int64
+	RatedPE       int
+	TargetYears   float64
+	// ExpectedWA derates the budget for write amplification below the
+	// host interface. Defaults to 2 (conservative, per §4.3's findings).
+	ExpectedWA float64
+}
+
+// Validate reports the first invalid field.
+func (b LifespanBudget) Validate() error {
+	switch {
+	case b.CapacityBytes <= 0:
+		return fmt.Errorf("mitigation: budget capacity %d", b.CapacityBytes)
+	case b.RatedPE <= 0:
+		return fmt.Errorf("mitigation: budget rated P/E %d", b.RatedPE)
+	case b.TargetYears <= 0:
+		return fmt.Errorf("mitigation: budget target %v years", b.TargetYears)
+	case b.ExpectedWA < 0:
+		return fmt.Errorf("mitigation: budget WA %v", b.ExpectedWA)
+	}
+	return nil
+}
+
+func (b LifespanBudget) wa() float64 {
+	if b.ExpectedWA == 0 {
+		return 2
+	}
+	return b.ExpectedWA
+}
+
+// TotalHostBytes is the host write volume the device can absorb in its
+// whole target life.
+func (b LifespanBudget) TotalHostBytes() float64 {
+	return float64(b.CapacityBytes) * float64(b.RatedPE) / b.wa()
+}
+
+// BytesPerDay is the sustainable daily budget.
+func (b LifespanBudget) BytesPerDay() float64 {
+	return b.TotalHostBytes() / (b.TargetYears * 365)
+}
+
+// BytesPerSecond is the sustainable rate.
+func (b LifespanBudget) BytesPerSecond() float64 {
+	return b.BytesPerDay() / (24 * 3600)
+}
+
+// TokenBucket is a deterministic token bucket over simulated time.
+type TokenBucket struct {
+	Rate  float64 // tokens (bytes) per second
+	Burst float64 // bucket capacity
+
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+// NewTokenBucket returns a full bucket.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst}
+}
+
+// Take consumes n bytes at simulated time now, returning how long the
+// caller must stall to respect the rate. The debt is recorded either way
+// (the I/O has already been issued; the delay back-pressures the next one).
+func (tb *TokenBucket) Take(n int64, now time.Duration) time.Duration {
+	if !tb.primed {
+		tb.primed = true
+		tb.last = now
+	}
+	if now > tb.last {
+		tb.tokens += tb.Rate * (now - tb.last).Seconds()
+		if tb.tokens > tb.Burst {
+			tb.tokens = tb.Burst
+		}
+		tb.last = now
+	}
+	tb.tokens -= float64(n)
+	if tb.tokens >= 0 {
+		return 0
+	}
+	if tb.Rate <= 0 {
+		return time.Hour // effectively blocked
+	}
+	return time.Duration(-tb.tokens / tb.Rate * float64(time.Second))
+}

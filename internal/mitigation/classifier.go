@@ -1,0 +1,185 @@
+package mitigation
+
+import (
+	"time"
+)
+
+// Classifier is the "more refined approach" of §4.5: distinguish benign
+// from malicious I/O patterns so only harmful applications are throttled.
+// It watches per-app write behaviour over a sliding window and scores three
+// wear-attack signatures:
+//
+//  1. sustained write volume far above the lifespan budget,
+//  2. persistence — the app writes in nearly every window, not in bursts,
+//  3. rewrite-style traffic (small synchronous writes).
+type Classifier struct {
+	// Budget anchors "how much writing is too much".
+	Budget LifespanBudget
+	// Window is the sliding-window width. Defaults to 10 minutes.
+	Window time.Duration
+	// History is how many windows are kept. Defaults to 24.
+	History int
+	// Threshold is the malice score at which an app is flagged.
+	// Defaults to 0.5.
+	Threshold float64
+
+	apps map[string]*appTrack
+}
+
+type appTrack struct {
+	windows   []appWindow // ring of recent windows
+	cur       appWindow
+	curStart  time.Duration
+	lastWrite time.Duration
+}
+
+type appWindow struct {
+	bytes    int64
+	writes   int64
+	syncs    int64
+	smallOps int64 // writes <= 64 KiB
+}
+
+// NewClassifier builds a classifier with defaults.
+func NewClassifier(budget LifespanBudget) *Classifier {
+	return &Classifier{
+		Budget:    budget,
+		Window:    10 * time.Minute,
+		History:   24,
+		Threshold: 0.5,
+		apps:      make(map[string]*appTrack),
+	}
+}
+
+func (c *Classifier) track(app string) *appTrack {
+	t, ok := c.apps[app]
+	if !ok {
+		t = &appTrack{}
+		c.apps[app] = t
+	}
+	return t
+}
+
+// roll closes windows older than now.
+func (c *Classifier) roll(t *appTrack, now time.Duration) {
+	for now-t.curStart >= c.Window {
+		t.windows = append(t.windows, t.cur)
+		if len(t.windows) > c.History {
+			t.windows = t.windows[1:]
+		}
+		t.cur = appWindow{}
+		t.curStart += c.Window
+		if t.curStart+c.Window < now {
+			// Large idle gap: fast-forward.
+			skipped := (now - t.curStart) / c.Window
+			for i := time.Duration(0); i < skipped && len(t.windows) <= c.History; i++ {
+				t.windows = append(t.windows, appWindow{})
+			}
+			if len(t.windows) > c.History {
+				t.windows = t.windows[len(t.windows)-c.History:]
+			}
+			t.curStart = now - (now % c.Window)
+		}
+	}
+}
+
+// ObserveWrite feeds one write into the model.
+func (c *Classifier) ObserveWrite(app string, bytes int64, sync bool, now time.Duration) {
+	t := c.track(app)
+	if t.curStart == 0 && t.lastWrite == 0 && len(t.windows) == 0 {
+		t.curStart = now - (now % c.Window)
+	}
+	c.roll(t, now)
+	t.cur.bytes += bytes
+	t.cur.writes++
+	if sync {
+		t.cur.syncs++
+	}
+	if bytes <= 64<<10 {
+		t.cur.smallOps++
+	}
+	t.lastWrite = now
+}
+
+// Score returns the app's malice score in [0, 1].
+func (c *Classifier) Score(app string, now time.Duration) float64 {
+	t, ok := c.apps[app]
+	if !ok {
+		return 0
+	}
+	c.roll(t, now)
+	var bytes, writes, smallOps int64
+	active := 0
+	n := 0
+	for _, w := range t.windows {
+		n++
+		bytes += w.bytes
+		writes += w.writes
+		smallOps += w.smallOps
+		if w.bytes > 0 {
+			active++
+		}
+	}
+	bytes += t.cur.bytes
+	writes += t.cur.writes
+	smallOps += t.cur.smallOps
+	if t.cur.bytes > 0 {
+		active++
+	}
+	n++
+	if writes == 0 {
+		return 0
+	}
+	span := time.Duration(n) * c.Window
+	rate := float64(bytes) / span.Seconds()
+
+	// Signature 1: rate pressure vs the lifespan budget. A benign app
+	// writing under ~8x the sustainable rate scores low; a wear attack
+	// runs hundreds of times over budget.
+	pressure := rate / (c.Budget.BytesPerSecond() * 8)
+	if pressure > 1 {
+		pressure = 1
+	}
+	// Signature 2: persistence.
+	persistence := float64(active) / float64(n)
+	// Signature 3: small-write fraction.
+	small := float64(smallOps) / float64(writes)
+
+	return 0.6*pressure + 0.25*persistence + 0.15*small
+}
+
+// Malicious reports whether the app is currently flagged.
+func (c *Classifier) Malicious(app string, now time.Duration) bool {
+	return c.Score(app, now) >= c.Threshold
+}
+
+// SelectiveThrottler combines the classifier with a rate limiter: only
+// flagged apps get throttled, so benign bursts keep full performance
+// (§4.5: "selectively rate limit only harmful applications").
+type SelectiveThrottler struct {
+	Classifier *Classifier
+	Limiter    *RateLimiter
+}
+
+// NewSelectiveThrottler wires a classifier and per-app limiter from one
+// budget.
+func NewSelectiveThrottler(budget LifespanBudget) (*SelectiveThrottler, error) {
+	lim, err := NewRateLimiter(budget)
+	if err != nil {
+		return nil, err
+	}
+	lim.PerApp = true
+	return &SelectiveThrottler{
+		Classifier: NewClassifier(budget),
+		Limiter:    lim,
+	}, nil
+}
+
+// Throttle implements the android.Config.Throttle hook.
+func (s *SelectiveThrottler) Throttle(app string, bytes int64, now time.Duration) time.Duration {
+	s.Classifier.ObserveWrite(app, bytes, false, now)
+	if !s.Classifier.Malicious(app, now) {
+		return 0
+	}
+	return s.Limiter.Throttle(app, bytes, now)
+}

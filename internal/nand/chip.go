@@ -1,0 +1,431 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Operation errors returned by Chip. A failed program or erase leaves the
+// block in a state the caller (normally the FTL) must handle by marking the
+// block bad and relocating data — exactly what device firmware does.
+var (
+	ErrBadBlock      = errors.New("nand: block is marked bad")
+	ErrNotErased     = errors.New("nand: page already programmed since last erase")
+	ErrOutOfOrder    = errors.New("nand: pages must be programmed sequentially within a block")
+	ErrProgramFail   = errors.New("nand: program operation failed")
+	ErrEraseFail     = errors.New("nand: erase operation failed")
+	ErrUncorrectable = errors.New("nand: raw bit errors exceed ECC capability")
+	ErrNotProgrammed = errors.New("nand: reading an unprogrammed page")
+	ErrAddr          = errors.New("nand: address out of range")
+)
+
+// Config assembles everything needed to instantiate a chip. Zero-valued
+// fields fall back to sensible defaults in New.
+type Config struct {
+	Geometry Geometry
+	Cell     CellType
+	// RatedPE overrides the cell type's default rated endurance when > 0.
+	RatedPE int
+	// Errors overrides DefaultErrorModel when non-zero.
+	Errors *ErrorModel
+	// Timing overrides DefaultTiming(Cell) when non-zero.
+	Timing *Timing
+	// Seed makes the chip's stochastic behaviour (block-to-block endurance
+	// variation, program failures, sampled bit errors) reproducible.
+	Seed int64
+	// Now supplies simulated time for retention and healing effects.
+	// A nil Now disables time-dependent effects.
+	Now func() time.Duration
+	// StressSpread is the half-width of the uniform per-block endurance
+	// variation: each block's wear accrues stress in [1-s, 1+s].
+	// Defaults to 0.08 (±8%), per observed die-to-die variation.
+	StressSpread float64
+	// CorrectableBits is the ECC capability (max correctable bit errors
+	// per 1 KiB codeword) the chip's reads are judged against. It lives
+	// here rather than in the FTL so ReadPage can report uncorrectable
+	// reads directly. Defaults to 8, eMMC-class BCH.
+	CorrectableBits int
+}
+
+const (
+	defaultStressSpread    = 0.08
+	defaultCorrectableBits = 8
+	codewordBytes          = 1024
+)
+
+// Chip simulates a single NAND package. It is not safe for concurrent use;
+// the device layer serialises access like a real single-queue eMMC part.
+type Chip struct {
+	geo     Geometry
+	cell    CellType
+	ratedPE int
+	emodel  ErrorModel
+	timing  Timing
+	now     func() time.Duration
+	rng     *rand.Rand
+	tcorr   int
+	blocks  []block
+	stats   Stats
+}
+
+type block struct {
+	eraseCount int
+	healed     float64 // effective cycles recovered by detrapping
+	stress     float64 // per-block endurance variation multiplier
+	bad        bool
+	nextPage   int           // next programmable page (in-order constraint)
+	firstProg  time.Duration // time the oldest live page was programmed
+	lastErase  time.Duration
+	reads      int64          // reads since last erase (read disturb)
+	data       map[int][]byte // page payloads, present only for data-bearing writes
+}
+
+// Stats counts raw chip activity since creation.
+type Stats struct {
+	Programs           int64
+	Reads              int64
+	Erases             int64
+	ProgramFails       int64
+	EraseFails         int64
+	UncorrectableReads int64
+	BytesProgrammed    int64
+	BadBlocks          int
+}
+
+// New builds a chip from cfg. It returns an error if the geometry, error
+// model, or timing are invalid.
+func New(cfg Config) (*Chip, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Cell.Valid() {
+		return nil, fmt.Errorf("nand: invalid cell type %v", cfg.Cell)
+	}
+	rated := cfg.RatedPE
+	if rated == 0 {
+		rated = cfg.Cell.DefaultRatedPE()
+	}
+	if rated <= 0 {
+		return nil, fmt.Errorf("nand: RatedPE = %d, want > 0", rated)
+	}
+	em := DefaultErrorModel()
+	if cfg.Errors != nil {
+		em = *cfg.Errors
+	}
+	if err := em.Validate(); err != nil {
+		return nil, err
+	}
+	tm := DefaultTiming(cfg.Cell)
+	if cfg.Timing != nil {
+		tm = *cfg.Timing
+	}
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	spread := cfg.StressSpread
+	if spread == 0 {
+		spread = defaultStressSpread
+	}
+	if spread < 0 || spread >= 1 {
+		return nil, fmt.Errorf("nand: StressSpread = %g, want [0,1)", spread)
+	}
+	tcorr := cfg.CorrectableBits
+	if tcorr == 0 {
+		tcorr = defaultCorrectableBits
+	}
+	if tcorr < 1 {
+		return nil, fmt.Errorf("nand: CorrectableBits = %d, want >= 1", tcorr)
+	}
+	c := &Chip{
+		geo:     cfg.Geometry,
+		cell:    cfg.Cell,
+		ratedPE: rated,
+		emodel:  em,
+		timing:  tm,
+		now:     cfg.Now,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		tcorr:   tcorr,
+		blocks:  make([]block, cfg.Geometry.Blocks()),
+	}
+	for i := range c.blocks {
+		c.blocks[i].stress = 1 - spread + 2*spread*c.rng.Float64()
+	}
+	return c, nil
+}
+
+// Geometry returns the chip's layout.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Cell returns the chip's cell type.
+func (c *Chip) Cell() CellType { return c.cell }
+
+// RatedPE returns the vendor-rated endurance in P/E cycles.
+func (c *Chip) RatedPE() int { return c.ratedPE }
+
+// Timing returns the chip's operation latencies.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// Stats returns a snapshot of activity counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// CorrectableBits returns the ECC capability reads are judged against.
+func (c *Chip) CorrectableBits() int { return c.tcorr }
+
+func (c *Chip) simNow() time.Duration {
+	if c.now == nil {
+		return 0
+	}
+	return c.now()
+}
+
+func (c *Chip) checkAddr(a PageAddr) error {
+	if a.Block < 0 || a.Block >= len(c.blocks) || a.Page < 0 || a.Page >= c.geo.PagesPerBlock {
+		return fmt.Errorf("%w: %v", ErrAddr, a)
+	}
+	return nil
+}
+
+// Wear returns a block's effective relative wear: stress-adjusted erase
+// cycles net of healing, divided by rated endurance. 1.0 means the block has
+// consumed its rated life.
+func (c *Chip) Wear(blockIdx int) float64 {
+	b := &c.blocks[blockIdx]
+	eff := (float64(b.eraseCount) - b.healed) * b.stress
+	if eff < 0 {
+		eff = 0
+	}
+	return eff / float64(c.ratedPE)
+}
+
+// EraseCount returns a block's raw erase count.
+func (c *Chip) EraseCount(blockIdx int) int { return c.blocks[blockIdx].eraseCount }
+
+// ReadsSinceErase returns a block's accumulated read-disturb exposure.
+func (c *Chip) ReadsSinceErase(blockIdx int) int64 { return c.blocks[blockIdx].reads }
+
+// Bad reports whether a block has been marked bad.
+func (c *Chip) Bad(blockIdx int) bool { return c.blocks[blockIdx].bad }
+
+// MarkBad retires a block. Firmware calls this after a program/erase failure
+// or an uncorrectable read.
+func (c *Chip) MarkBad(blockIdx int) {
+	if !c.blocks[blockIdx].bad {
+		c.blocks[blockIdx].bad = true
+		c.stats.BadBlocks++
+	}
+}
+
+// AvgWear returns mean relative wear across non-bad blocks — the quantity
+// eMMC firmware summarises into the 11-level life-time estimate.
+func (c *Chip) AvgWear() float64 {
+	var sum float64
+	n := 0
+	for i := range c.blocks {
+		if c.blocks[i].bad {
+			continue
+		}
+		sum += c.Wear(i)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// MaxWear returns the maximum relative wear across non-bad blocks.
+func (c *Chip) MaxWear() float64 {
+	var max float64
+	for i := range c.blocks {
+		if c.blocks[i].bad {
+			continue
+		}
+		if w := c.Wear(i); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// ExpectedCodewordErrors returns the expected raw bit errors per ECC
+// codeword for freshly written data in a block at its current wear.
+func (c *Chip) ExpectedCodewordErrors(blockIdx int) float64 {
+	return c.emodel.RBER(c.Wear(blockIdx)) * float64(codewordBytes*8)
+}
+
+// ShouldRetire reports whether firmware read-scrub policy would retire the
+// block: its expected error count has consumed 75% of the ECC correction
+// capability, so further use risks uncorrectable data. Stronger ECC defers
+// retirement — the mechanism behind the ECC-strength ablation.
+func (c *Chip) ShouldRetire(blockIdx int) bool {
+	return c.ExpectedCodewordErrors(blockIdx) > 0.75*float64(c.tcorr)
+}
+
+// OpResult describes a completed chip operation.
+type OpResult struct {
+	Latency   time.Duration
+	BitErrors int // worst-codeword raw bit errors observed (reads only)
+}
+
+// ProgramPage writes one page. data may be nil for accounting-only writes
+// (wear experiments at device scale); when non-nil it must be exactly
+// PageSize bytes and is retained for later reads.
+//
+// NAND constraints are enforced: the block must not be bad, and pages within
+// a block must be programmed in order, each exactly once per erase cycle.
+func (c *Chip) ProgramPage(a PageAddr, data []byte) (OpResult, error) {
+	if err := c.checkAddr(a); err != nil {
+		return OpResult{}, err
+	}
+	b := &c.blocks[a.Block]
+	res := OpResult{Latency: c.timing.ProgramPage}
+	if b.bad {
+		return res, fmt.Errorf("%w: %v", ErrBadBlock, a)
+	}
+	if a.Page < b.nextPage {
+		return res, fmt.Errorf("%w: %v", ErrNotErased, a)
+	}
+	if a.Page > b.nextPage {
+		return res, fmt.Errorf("%w: %v (next programmable page %d)", ErrOutOfOrder, a, b.nextPage)
+	}
+	if data != nil && len(data) != c.geo.PageSize {
+		return res, fmt.Errorf("nand: program %v: data length %d != page size %d", a, len(data), c.geo.PageSize)
+	}
+	c.stats.Programs++
+	c.stats.BytesProgrammed += int64(c.geo.PageSize)
+	if b.nextPage == 0 {
+		b.firstProg = c.simNow()
+	}
+	b.nextPage++
+	if c.rng.Float64() < c.emodel.FailProb(c.Wear(a.Block)) {
+		c.stats.ProgramFails++
+		return res, fmt.Errorf("%w: %v", ErrProgramFail, a)
+	}
+	if data != nil {
+		if b.data == nil {
+			b.data = make(map[int][]byte)
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		b.data[a.Page] = cp
+	}
+	return res, nil
+}
+
+// ReadPage reads one page, sampling raw bit errors from the block's current
+// error rate. If the worst codeword's error count exceeds the ECC
+// capability, it returns ErrUncorrectable. Data is returned only if the page
+// was programmed with a payload.
+func (c *Chip) ReadPage(a PageAddr) ([]byte, OpResult, error) {
+	if err := c.checkAddr(a); err != nil {
+		return nil, OpResult{}, err
+	}
+	b := &c.blocks[a.Block]
+	res := OpResult{Latency: c.timing.ReadPage}
+	if b.bad {
+		return nil, res, fmt.Errorf("%w: %v", ErrBadBlock, a)
+	}
+	if a.Page >= b.nextPage {
+		return nil, res, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+	c.stats.Reads++
+	b.reads++
+	storedHours := (c.simNow() - b.firstProg).Hours()
+	if storedHours < 0 {
+		storedHours = 0
+	}
+	rber := c.emodel.RBERWithRetention(c.Wear(a.Block), storedHours)
+	rber += c.emodel.ReadDisturbRBER * float64(b.reads)
+	res.BitErrors = c.worstCodewordErrors(rber)
+	if res.BitErrors > c.tcorr {
+		c.stats.UncorrectableReads++
+		return nil, res, fmt.Errorf("%w: %v (%d bit errors > t=%d)", ErrUncorrectable, a, res.BitErrors, c.tcorr)
+	}
+	var data []byte
+	if p, ok := b.data[a.Page]; ok {
+		data = make([]byte, len(p))
+		copy(data, p)
+	}
+	return data, res, nil
+}
+
+// EraseBlock erases a block, consuming one P/E cycle. On failure the block
+// should be marked bad by the caller.
+func (c *Chip) EraseBlock(blockIdx int) (OpResult, error) {
+	if blockIdx < 0 || blockIdx >= len(c.blocks) {
+		return OpResult{}, fmt.Errorf("%w: block %d", ErrAddr, blockIdx)
+	}
+	b := &c.blocks[blockIdx]
+	res := OpResult{Latency: c.timing.EraseBlock}
+	if b.bad {
+		return res, fmt.Errorf("%w: block %d", ErrBadBlock, blockIdx)
+	}
+	c.stats.Erases++
+	now := c.simNow()
+	if c.emodel.HealPerIdleHour > 0 && b.eraseCount > 0 {
+		idle := (now - b.lastErase).Hours()
+		if idle > 0 {
+			b.healed += c.emodel.HealPerIdleHour * idle
+			// Detrapping cannot recover more than half the accumulated damage.
+			if limit := float64(b.eraseCount) * 0.5; b.healed > limit {
+				b.healed = limit
+			}
+		}
+	}
+	b.eraseCount++
+	b.lastErase = now
+	b.nextPage = 0
+	b.reads = 0
+	b.data = nil
+	if c.rng.Float64() < c.emodel.FailProb(c.Wear(blockIdx)) {
+		c.stats.EraseFails++
+		return res, fmt.Errorf("%w: block %d", ErrEraseFail, blockIdx)
+	}
+	return res, nil
+}
+
+// worstCodewordErrors samples per-codeword raw bit error counts at rate rber
+// and returns the maximum — the codeword that decides correctability.
+func (c *Chip) worstCodewordErrors(rber float64) int {
+	ncw := c.geo.PageSize / codewordBytes
+	if ncw < 1 {
+		ncw = 1
+	}
+	mean := rber * float64(codewordBytes*8)
+	worst := 0
+	for i := 0; i < ncw; i++ {
+		if k := c.poisson(mean); k > worst {
+			worst = k
+		}
+	}
+	return worst
+}
+
+// poisson samples a Poisson-distributed count with the given mean. For the
+// small means typical of healthy blocks it uses Knuth's method; for large
+// means (dying blocks) it falls back to a normal approximation.
+func (c *Chip) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		k := int(mean + math.Sqrt(mean)*c.rng.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= c.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,42 @@
+package nand
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timing holds per-operation latencies for a NAND part. Denser cells need
+// finer-grained incremental programming and therefore take longer; the
+// defaults follow published datasheet ranges.
+type Timing struct {
+	ReadPage    time.Duration // tR: array-to-register read
+	ProgramPage time.Duration // tPROG
+	EraseBlock  time.Duration // tBERS
+}
+
+// DefaultTiming returns typical latencies for the given cell type.
+func DefaultTiming(t CellType) Timing {
+	switch t {
+	case SLC:
+		return Timing{ReadPage: 25 * time.Microsecond, ProgramPage: 250 * time.Microsecond, EraseBlock: 1500 * time.Microsecond}
+	case MLC:
+		return Timing{ReadPage: 60 * time.Microsecond, ProgramPage: 900 * time.Microsecond, EraseBlock: 3 * time.Millisecond}
+	case TLC:
+		return Timing{ReadPage: 90 * time.Microsecond, ProgramPage: 2 * time.Millisecond, EraseBlock: 5 * time.Millisecond}
+	default:
+		return Timing{}
+	}
+}
+
+// Validate reports an error describing the first invalid field, if any.
+func (t Timing) Validate() error {
+	switch {
+	case t.ReadPage <= 0:
+		return fmt.Errorf("nand: timing: ReadPage = %v, want > 0", t.ReadPage)
+	case t.ProgramPage <= 0:
+		return fmt.Errorf("nand: timing: ProgramPage = %v, want > 0", t.ProgramPage)
+	case t.EraseBlock <= 0:
+		return fmt.Errorf("nand: timing: EraseBlock = %v, want > 0", t.EraseBlock)
+	}
+	return nil
+}

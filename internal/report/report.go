@@ -1,0 +1,219 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV series, the way the harness binaries print the paper's figures and
+// tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	header := strings.TrimRight(b.String(), " ")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, row := range t.rows {
+		var rb strings.Builder
+		for i, c := range row {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&rb, "%-*s  ", width, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(rb.String(), " "))
+	}
+}
+
+// Series is a named sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderCSV writes one or more series as CSV with a shared x column. All
+// series must have identical x values; mismatches render as separate
+// blocks.
+func RenderCSV(w io.Writer, series ...*Series) {
+	if len(series) == 0 {
+		return
+	}
+	aligned := true
+	for _, s := range series[1:] {
+		if len(s.X) != len(series[0].X) {
+			aligned = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				aligned = false
+				break
+			}
+		}
+	}
+	if aligned {
+		xl := series[0].XLabel
+		if xl == "" {
+			xl = "x"
+		}
+		fmt.Fprintf(w, "%s", xl)
+		for _, s := range series {
+			fmt.Fprintf(w, ",%s", s.Name)
+		}
+		fmt.Fprintln(w)
+		for i := range series[0].X {
+			fmt.Fprintf(w, "%g", series[0].X[i])
+			for _, s := range series {
+				fmt.Fprintf(w, ",%.3f", s.Y[i])
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "# %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(w, "%g,%.3f\n", s.X[i], s.Y[i])
+		}
+	}
+}
+
+// BarChart renders labelled values as horizontal ASCII bars, scaled to the
+// largest value — a terminal rendition of the paper's bar figures.
+type BarChart struct {
+	Title  string
+	Unit   string
+	Width  int // bar width in characters; default 50
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 50}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for i, v := range c.values {
+		if v > max {
+			max = v
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	for i, v := range c.values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%-*s |%s %.2f %s\n", labelW, c.labels[i], strings.Repeat("#", n), v, c.Unit)
+	}
+}
+
+// HumanBytes formats a byte count in binary units.
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%.2f TiB", float64(b)/(1<<40))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// SizeLabel formats a request size the way Figure 1's x-axis does.
+func SizeLabel(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	default:
+		return fmt.Sprintf("%gKiB", float64(b)/1024)
+	}
+}

@@ -1,0 +1,138 @@
+// Package simclock provides a discrete-event simulated clock.
+//
+// Every component in the flashwear stack that needs a notion of time — device
+// service times, charging schedules, monitor sampling — takes a *Clock rather
+// than reading the wall clock. Experiments therefore run as fast as the CPU
+// allows while still reporting results in simulated hours, and are fully
+// deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a discrete-event simulated clock. The zero value is ready to use
+// and starts at simulated time zero.
+//
+// Clock is not safe for concurrent use; the simulation stack is synchronous
+// by design (see DESIGN.md).
+type Clock struct {
+	now    time.Duration
+	events eventQueue
+	seq    uint64
+}
+
+// New returns a clock starting at simulated time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current simulated time as an offset from the simulation
+// start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward by d, firing any events scheduled in
+// the interval in timestamp order. Advance panics if d is negative: simulated
+// time, like the real thing, only moves forward.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: Advance(%v): negative duration", d))
+	}
+	target := c.now + d
+	c.runUntil(target)
+	c.now = target
+}
+
+// AdvanceTo moves simulated time forward to the absolute simulated time t.
+// It is a no-op if t is not after the current time.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t <= c.now {
+		return
+	}
+	c.Advance(t - c.now)
+}
+
+// At schedules fn to run when simulated time reaches t. If t is in the past,
+// fn runs at the next Advance. Events scheduled for the same instant run in
+// scheduling order.
+func (c *Clock) At(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("simclock: At: nil callback")
+	}
+	c.seq++
+	heap.Push(&c.events, &event{when: t, seq: c.seq, fn: fn})
+}
+
+// After schedules fn to run d from the current simulated time.
+func (c *Clock) After(d time.Duration, fn func()) { c.At(c.now+d, fn) }
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned cancel function is called. A non-positive interval
+// panics.
+func (c *Clock) Every(interval time.Duration, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simclock: Every(%v): non-positive interval", interval))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			c.After(interval, tick)
+		}
+	}
+	c.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// Pending reports the number of scheduled events that have not yet fired.
+func (c *Clock) Pending() int { return c.events.Len() }
+
+// runUntil fires, in order, all events with timestamps <= target. Events may
+// schedule further events; those also run if they fall within the window.
+func (c *Clock) runUntil(target time.Duration) {
+	for c.events.Len() > 0 {
+		next := c.events[0]
+		if next.when > target {
+			return
+		}
+		heap.Pop(&c.events)
+		if next.when > c.now {
+			c.now = next.when
+		}
+		next.fn()
+	}
+}
+
+type event struct {
+	when time.Duration
+	seq  uint64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Hours converts a simulated duration to floating-point hours, the unit the
+// paper reports wear-out times in (Figure 3, Table 1).
+func Hours(d time.Duration) float64 { return d.Hours() }

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"flashwear/internal/blockdev"
+	"flashwear/internal/device"
+	"flashwear/internal/simclock"
+	"flashwear/internal/workload"
+)
+
+func recordAttack(t *testing.T) []Event {
+	t.Helper()
+	clock := simclock.New()
+	dev, err := device.New(device.ProfileEMMC8().Scaled(512), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(dev, clock)
+	w := workload.NewDeviceWriter(rec, 4096, false, 3)
+	w.RegionLen = rec.Size() / 8
+	if _, err := w.Step(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+func TestRecorderCapturesEverything(t *testing.T) {
+	events := recordAttack(t)
+	if len(events) != 512+1 { // 512 x 4 KiB writes + 1 flush
+		t.Fatalf("events = %d, want 513", len(events))
+	}
+	for i, e := range events[:512] {
+		if e.Op != OpWrite || e.Len != 4096 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+	if events[512].Op != OpFlush {
+		t.Fatal("flush missing")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	events := recordAttack(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v", err)
+	}
+	var buf bytes.Buffer
+	_ = Write(&buf, []Event{{Op: OpWrite, Len: 4096}})
+	b := buf.Bytes()
+	b[12] = 99 // corrupt the op
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("corrupt op err = %v", err)
+	}
+	if _, err := Read(bytes.NewReader(b[:20])); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated err = %v", err)
+	}
+}
+
+func TestReplayAcrossDevices(t *testing.T) {
+	events := recordAttack(t)
+	// Replay the eMMC-recorded trace on the slower Moto E.
+	clock := simclock.New()
+	target, err := device.New(device.ProfileMotoE8().Scaled(512), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(target, clock, events, ReplayOptions{StopOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != len(events) || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesWritten != 2<<20 {
+		t.Fatalf("BytesWritten = %d", st.BytesWritten)
+	}
+	if target.BytesWritten() != 2<<20 {
+		t.Fatal("target device did not receive the trace")
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestReplayPreservesTiming(t *testing.T) {
+	// A trace with a long idle gap: timed replay keeps the gap, untimed
+	// collapses it.
+	events := []Event{
+		{At: 0, Op: OpWrite, Off: 0, Len: 4096},
+		{At: time.Hour, Op: OpWrite, Off: 4096, Len: 4096},
+	}
+	run := func(preserve bool) time.Duration {
+		clock := simclock.New()
+		dev, err := device.New(device.ProfileEMMC8().Scaled(512), clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Replay(dev, clock, events, ReplayOptions{PreserveTiming: preserve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Elapsed
+	}
+	timed, untimed := run(true), run(false)
+	if timed < time.Hour {
+		t.Fatalf("timed replay took %v, want >= 1h", timed)
+	}
+	if untimed > time.Minute {
+		t.Fatalf("untimed replay took %v, want ~instant", untimed)
+	}
+}
+
+func TestReplayWrapsOversizedOffsets(t *testing.T) {
+	events := []Event{{Op: OpWrite, Off: 1 << 40, Len: 4096}}
+	clock := simclock.New()
+	dev, err := device.New(device.ProfileEMMC8().Scaled(512), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, clock, events, ReplayOptions{StopOnError: true})
+	if err != nil {
+		t.Fatalf("oversized offset not wrapped: %v", err)
+	}
+	if st.Errors != 0 {
+		t.Fatal("errors counted")
+	}
+}
+
+func TestReplayContinuesPastErrors(t *testing.T) {
+	mem, _ := blockdev.NewMem(1<<20, 512)
+	faulty := blockdev.NewFaulty(mem, 2)
+	clock := simclock.New()
+	events := []Event{
+		{Op: OpWrite, Off: 0, Len: 4096},
+		{Op: OpWrite, Off: 4096, Len: 4096},
+		{Op: OpWrite, Off: 8192, Len: 4096},
+	}
+	st, err := Replay(faulty, clock, events, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 1 || st.Events != 3 {
+		t.Fatalf("stats = %+v, want 1 error of 3 events", st)
+	}
+	if _, err := Replay(faulty, clock, events, ReplayOptions{StopOnError: true}); err == nil {
+		t.Fatal("StopOnError did not stop")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpWrite: "write", OpRead: "read", OpDiscard: "discard", OpFlush: "flush", Op(9): "Op(9)"} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package ufs exposes a simulated device through a UFS-style transport
+// (JESD220): SCSI command descriptor blocks for block I/O (READ(10),
+// WRITE(10), UNMAP, SYNCHRONIZE CACHE) and the Device Health descriptor
+// carrying bPreEOLInfo and bDeviceLifeTimeEstA/B — the registers §4.4 reads
+// on the Samsung S6, whose UFS storage is "a recent successor to eMMC".
+package ufs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flashwear/internal/device"
+	"flashwear/internal/ftl"
+)
+
+// SCSI operation codes used by the UFS block path.
+const (
+	OpRead10    = 0x28
+	OpWrite10   = 0x2A
+	OpUnmap     = 0x42
+	OpSyncCache = 0x35
+	OpTestUnit  = 0x00
+)
+
+// Health descriptor layout (JESD220 Device Health descriptor, abridged).
+const (
+	HealthDescLen      = 0x25
+	HealthPreEOLInfo   = 2 // bPreEOLInfo
+	HealthLifeTimeEstA = 3 // bDeviceLifeTimeEstA
+	HealthLifeTimeEstB = 4 // bDeviceLifeTimeEstB
+	healthDescType     = 0x09
+)
+
+// SCSI sense-style errors.
+var (
+	ErrInvalidCDB = errors.New("ufs: invalid command descriptor block")
+	ErrLBARange   = errors.New("ufs: LBA out of range")
+	ErrMedium     = errors.New("ufs: medium error")
+)
+
+// LU is a UFS logical unit wrapped around a simulated device. Block size is
+// 4096 bytes, the UFS norm.
+type LU struct {
+	dev       *device.Device
+	blockSize int
+}
+
+// New wraps a device as a logical unit.
+func New(dev *device.Device) *LU {
+	return &LU{dev: dev, blockSize: 4096}
+}
+
+// BlockSize returns the logical block size.
+func (l *LU) BlockSize() int { return l.blockSize }
+
+// Capacity returns the LU capacity in logical blocks.
+func (l *LU) Capacity() int64 { return l.dev.Size() / int64(l.blockSize) }
+
+// cdb10 parses the LBA and transfer length of a 10-byte CDB.
+func cdb10(cdb []byte) (lba uint32, n uint16, err error) {
+	if len(cdb) < 10 {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrInvalidCDB, len(cdb))
+	}
+	return binary.BigEndian.Uint32(cdb[2:6]), binary.BigEndian.Uint16(cdb[7:9]), nil
+}
+
+// Read10 executes READ(10), returning the data-in buffer.
+func (l *LU) Read10(cdb []byte) ([]byte, error) {
+	if len(cdb) == 0 || cdb[0] != OpRead10 {
+		return nil, ErrInvalidCDB
+	}
+	lba, n, err := cdb10(cdb)
+	if err != nil {
+		return nil, err
+	}
+	if int64(lba)+int64(n) > l.Capacity() {
+		return nil, fmt.Errorf("%w: lba %d + %d blocks", ErrLBARange, lba, n)
+	}
+	buf := make([]byte, int(n)*l.blockSize)
+	if err := l.dev.ReadAt(buf, int64(lba)*int64(l.blockSize)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMedium, err)
+	}
+	return buf, nil
+}
+
+// Write10 executes WRITE(10) with the given data-out buffer.
+func (l *LU) Write10(cdb, data []byte) error {
+	if len(cdb) == 0 || cdb[0] != OpWrite10 {
+		return ErrInvalidCDB
+	}
+	lba, n, err := cdb10(cdb)
+	if err != nil {
+		return err
+	}
+	if len(data) != int(n)*l.blockSize {
+		return fmt.Errorf("%w: data %d bytes for %d blocks", ErrInvalidCDB, len(data), n)
+	}
+	if int64(lba)+int64(n) > l.Capacity() {
+		return fmt.Errorf("%w: lba %d + %d blocks", ErrLBARange, lba, n)
+	}
+	if err := l.dev.WriteAt(data, int64(lba)*int64(l.blockSize)); err != nil {
+		return fmt.Errorf("%w: %v", ErrMedium, err)
+	}
+	return nil
+}
+
+// Unmap executes UNMAP over one block range (the common single-descriptor
+// form the kernel issues for discard).
+func (l *LU) Unmap(lba uint32, blocks uint32) error {
+	if int64(lba)+int64(blocks) > l.Capacity() {
+		return fmt.Errorf("%w: lba %d + %d blocks", ErrLBARange, lba, blocks)
+	}
+	return l.dev.Discard(int64(lba)*int64(l.blockSize), int64(blocks)*int64(l.blockSize))
+}
+
+// SyncCache executes SYNCHRONIZE CACHE.
+func (l *LU) SyncCache() error { return l.dev.Flush() }
+
+// TestUnitReady reports whether the LU can accept commands.
+func (l *LU) TestUnitReady() error {
+	if l.dev.Bricked() {
+		return fmt.Errorf("%w: device failed", ErrMedium)
+	}
+	return nil
+}
+
+// HealthDescriptor renders the Device Health descriptor: the UFS twin of
+// eMMC's EXT_CSD life-time bytes, read by `ufs-utils desc -t 9` style
+// tooling.
+func (l *LU) HealthDescriptor() []byte {
+	d := make([]byte, HealthDescLen)
+	d[0] = HealthDescLen
+	d[1] = healthDescType
+	d[HealthPreEOLInfo] = byte(l.dev.PreEOLInfo())
+	d[HealthLifeTimeEstA] = byte(l.dev.WearIndicator(ftl.PoolA))
+	d[HealthLifeTimeEstB] = byte(l.dev.WearIndicator(ftl.PoolB))
+	return d
+}
+
+// BuildRead10 assembles a READ(10) CDB (helper for hosts and tests).
+func BuildRead10(lba uint32, blocks uint16) []byte {
+	cdb := make([]byte, 10)
+	cdb[0] = OpRead10
+	binary.BigEndian.PutUint32(cdb[2:6], lba)
+	binary.BigEndian.PutUint16(cdb[7:9], blocks)
+	return cdb
+}
+
+// BuildWrite10 assembles a WRITE(10) CDB.
+func BuildWrite10(lba uint32, blocks uint16) []byte {
+	cdb := make([]byte, 10)
+	cdb[0] = OpWrite10
+	binary.BigEndian.PutUint32(cdb[2:6], lba)
+	binary.BigEndian.PutUint16(cdb[7:9], blocks)
+	return cdb
+}

@@ -1,0 +1,122 @@
+package ufs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flashwear/internal/device"
+	"flashwear/internal/simclock"
+)
+
+func testLU(t *testing.T) *LU {
+	t.Helper()
+	dev, err := device.New(device.ProfileSamsungS6().Scaled(2048), simclock.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev)
+}
+
+func TestReadWrite10RoundTrip(t *testing.T) {
+	lu := testLU(t)
+	if err := lu.TestUnitReady(); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xB7}, 3*lu.BlockSize())
+	if err := lu.Write10(BuildWrite10(5, 3), payload); err != nil {
+		t.Fatalf("WRITE(10): %v", err)
+	}
+	got, err := lu.Read10(BuildRead10(5, 3))
+	if err != nil {
+		t.Fatalf("READ(10): %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCDBValidation(t *testing.T) {
+	lu := testLU(t)
+	if _, err := lu.Read10([]byte{OpRead10, 0}); !errors.Is(err, ErrInvalidCDB) {
+		t.Errorf("short CDB err = %v", err)
+	}
+	if _, err := lu.Read10(BuildWrite10(0, 1)); !errors.Is(err, ErrInvalidCDB) {
+		t.Errorf("wrong opcode err = %v", err)
+	}
+	if err := lu.Write10(BuildWrite10(0, 2), make([]byte, lu.BlockSize())); !errors.Is(err, ErrInvalidCDB) {
+		t.Errorf("data/length mismatch err = %v", err)
+	}
+	// Beyond capacity.
+	last := uint32(lu.Capacity())
+	if _, err := lu.Read10(BuildRead10(last, 1)); !errors.Is(err, ErrLBARange) {
+		t.Errorf("out-of-range read err = %v", err)
+	}
+	if err := lu.Unmap(last, 1); !errors.Is(err, ErrLBARange) {
+		t.Errorf("out-of-range unmap err = %v", err)
+	}
+}
+
+func TestUnmapDiscards(t *testing.T) {
+	lu := testLU(t)
+	payload := bytes.Repeat([]byte{1}, lu.BlockSize())
+	if err := lu.Write10(BuildWrite10(0, 1), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := lu.Unmap(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lu.Read10(BuildRead10(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d survived UNMAP", i)
+		}
+	}
+	if err := lu.SyncCache(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthDescriptor(t *testing.T) {
+	lu := testLU(t)
+	d := lu.HealthDescriptor()
+	if len(d) != HealthDescLen || d[1] != 0x09 {
+		t.Fatalf("descriptor header wrong: %v", d[:4])
+	}
+	if d[HealthPreEOLInfo] != 1 || d[HealthLifeTimeEstB] != 1 {
+		t.Fatalf("fresh health = pre%d estB%d", d[HealthPreEOLInfo], d[HealthLifeTimeEstB])
+	}
+}
+
+func TestHealthMovesUnderWear(t *testing.T) {
+	dev, err := device.New(func() device.Profile {
+		p := device.ProfileSamsungS6().Scaled(2048)
+		p.RatedPE = 80
+		return p
+	}(), simclock.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := New(dev)
+	payload := make([]byte, lu.BlockSize())
+	rng := rand.New(rand.NewSource(4))
+	span := uint32(lu.Capacity() / 8)
+	for i := 0; i < 300_000; i++ {
+		lba := uint32(rng.Intn(int(span)))
+		if err := lu.Write10(BuildWrite10(lba, 1), payload); err != nil {
+			break // a dying LU ends the loop; health must reflect it
+		}
+		if i%20_000 == 0 {
+			if lu.HealthDescriptor()[HealthLifeTimeEstB] >= 3 {
+				return
+			}
+		}
+	}
+	if lu.HealthDescriptor()[HealthLifeTimeEstB] < 3 && lu.TestUnitReady() == nil {
+		t.Fatal("health descriptor never moved under heavy wear")
+	}
+}

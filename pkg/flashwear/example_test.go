@@ -1,0 +1,53 @@
+package flashwear_test
+
+import (
+	"fmt"
+
+	"flashwear/pkg/flashwear"
+)
+
+// Example_wearIndicator shows the core loop of the paper: write, and watch
+// the JEDEC life-time estimate climb.
+func Example_wearIndicator() {
+	clock := flashwear.NewClock()
+	prof := flashwear.ProfileEMMC8()
+	prof.RatedPE = 50 // short-lived variant so the example is instant
+	prof.FirmwareRatedPE = 50
+	dev, err := flashwear.NewDevice(prof.Scaled(1024), clock)
+	if err != nil {
+		panic(err)
+	}
+	w := flashwear.NewDeviceWriter(dev, 4096, false, 1)
+	w.RegionLen = dev.Size() / 8
+	for dev.WearIndicator(flashwear.PoolB) < 3 {
+		if _, err := w.Step(4 << 20); err != nil {
+			break
+		}
+	}
+	fmt.Println("indicator:", dev.WearIndicator(flashwear.PoolB))
+	// Output:
+	// indicator: 3
+}
+
+// Example_envelope reproduces §2.3's back-of-the-envelope arithmetic.
+func Example_envelope() {
+	env := flashwear.NewEnvelope(8 << 30) // an 8 GiB device
+	fmt.Printf("promised volume: %d GiB\n", env.TotalHostBytes()>>30)
+	fmt.Printf("rewrites/day for 3 years: %.1f\n", env.FullRewritesPerDayForYears(3))
+	// Output:
+	// promised volume: 24000 GiB
+	// rewrites/day for 3 years: 2.7
+}
+
+// Example_budget derives the defensive write budget of §4.5.
+func Example_budget() {
+	budget := flashwear.LifespanBudget{
+		CapacityBytes: 8 << 30,
+		RatedPE:       1400,
+		TargetYears:   3,
+		ExpectedWA:    2,
+	}
+	fmt.Printf("%.1f GiB/day sustains a 3-year life\n", budget.BytesPerDay()/(1<<30))
+	// Output:
+	// 5.1 GiB/day sustains a 3-year life
+}

@@ -1,0 +1,98 @@
+package flashwear_test
+
+import (
+	"testing"
+	"time"
+
+	"flashwear/pkg/flashwear"
+)
+
+// TestPublicAPIEndToEnd exercises the headline scenario purely through the
+// public surface: boot a phone, install an unprivileged app, run the
+// stealth attack, verify the brick and the monitor evasion.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	clock := flashwear.NewClock()
+	prof := flashwear.ProfileMotoE8()
+	prof.RatedPE = 60 // fast-wearing variant for the test
+	prof.FirmwareRatedPE = 60
+	phone, err := flashwear.NewPhone(flashwear.PhoneConfig{
+		Profile: prof.Scaled(1024),
+		FS:      flashwear.FSExt4,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := phone.InstallApp("com.example.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.AdvanceTo(12 * time.Hour)
+
+	atk := flashwear.NewAttack(app, flashwear.Stealth, prof.EffectiveScale(1024))
+	rep, err := atk.Run(phone, 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bricked {
+		t.Fatal("public-API attack failed to brick the phone")
+	}
+	if rep.PowerJoulesAttributed != 0 || rep.ProcessObservedCount != 0 {
+		t.Fatal("stealth attack visible through public API")
+	}
+	if len(rep.Increments) == 0 {
+		t.Fatal("no increments reported")
+	}
+}
+
+// TestPublicAPIDevices exercises devices, profiles, envelope and
+// microbenchmarks through the façade.
+func TestPublicAPIDevices(t *testing.T) {
+	if len(flashwear.AllProfiles()) != 7 {
+		t.Fatalf("profiles = %d, want 7", len(flashwear.AllProfiles()))
+	}
+	if _, err := flashwear.ProfileByName("no such device"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	clock := flashwear.NewClock()
+	dev, err := flashwear.NewDevice(flashwear.ProfileEMMC16().Scaled(1024), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flashwear.Microbench(dev, clock, 4096, true, 2<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MiBps() <= 0 {
+		t.Fatal("zero bandwidth")
+	}
+	env := flashwear.NewEnvelope(16 << 30)
+	if env.TotalHostBytes() != int64(16<<30)*3000 {
+		t.Fatal("envelope math wrong through façade")
+	}
+	if dev.WearIndicator(flashwear.PoolA) != 1 || dev.WearIndicator(flashwear.PoolB) != 1 {
+		t.Fatal("fresh device indicators != 1")
+	}
+}
+
+// TestPublicAPIMitigations exercises the §4.5 surface.
+func TestPublicAPIMitigations(t *testing.T) {
+	budget := flashwear.LifespanBudget{
+		CapacityBytes: 8 << 30, RatedPE: 1400, TargetYears: 3, ExpectedWA: 2,
+	}
+	lim, err := flashwear.NewRateLimiter(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.BurstBytes = 1 << 20
+	_ = lim.Throttle("a", 1<<20, 0)
+	if d := lim.Throttle("a", 1<<20, 0); d <= 0 {
+		t.Fatal("limiter did not throttle past burst")
+	}
+	st, err := flashwear.NewSelectiveThrottler(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st.Throttle("camera", 1<<20, 0); d != 0 {
+		t.Fatal("selective throttler hit an unflagged app")
+	}
+}
