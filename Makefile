@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# A short -race pass over the one concurrent subsystem: the fleet
+# determinism test runs the same 64-device population at 4 workers and at
+# 1 and requires byte-identical aggregates (DESIGN.md §6).
+race:
+	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The verification entrypoint: everything CI (or a reviewer) should run.
+check: vet build test race

@@ -11,12 +11,16 @@
 package flashwear_bench
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
 	"flashwear/internal/core"
+	"flashwear/internal/device"
 	"flashwear/internal/experiments"
+	"flashwear/internal/fleet"
 	"flashwear/internal/ftl"
 )
 
@@ -353,6 +357,43 @@ func BenchmarkClassifierEval(b *testing.B) {
 		for _, r := range rows {
 			b.ReportMetric(r.Score, metric(r.App+"-score"))
 		}
+	}
+}
+
+// BenchmarkFleetScaling runs the same small fleet at 1, 2, and
+// GOMAXPROCS(0) workers, reporting devices/sec. Scaling is near-linear on
+// multi-core hosts because devices share no state; the aggregates are
+// byte-identical at every width (the fleet package's tests assert it).
+// Endurance is derated so the bricking devices stay affordable.
+func BenchmarkFleetScaling(b *testing.B) {
+	prof := device.ProfileBLU4()
+	prof.RatedPE = 150
+	spec := fleet.Spec{
+		Devices:  32,
+		Seed:     42,
+		Days:     10,
+		Scale:    8192,
+		Profiles: []fleet.ProfileWeight{{Profile: prof, Weight: 1}},
+		Classes: []fleet.ClassWeight{
+			{Class: fleet.ClassBenign, Weight: 0.9},
+			{Class: fleet.ClassBuggy, Weight: 0.05},
+			{Class: fleet.ClassAttack, Weight: 0.05},
+		},
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		spec.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total.Devices != int64(spec.Devices) {
+					b.Fatalf("simulated %d devices, want %d", res.Total.Devices, spec.Devices)
+				}
+			}
+			b.ReportMetric(float64(spec.Devices)*float64(b.N)/b.Elapsed().Seconds(), "devices/s")
+		})
 	}
 }
 

@@ -1,0 +1,165 @@
+// Command fleetsim simulates a population of phones in parallel and prints
+// population-scale wear statistics: what fraction of the fleet bricks
+// within the horizon, how fast, and how worn the survivors are.
+//
+// Usage:
+//
+//	fleetsim -devices 100000 -workers 0 -days 365 -seed 42
+//
+// Everything written to stdout is a pure function of the flags (worker
+// count and wall-clock time never appear there), so runs are byte-for-byte
+// reproducible; progress goes to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"flashwear/internal/fleet"
+	"flashwear/internal/report"
+)
+
+func main() {
+	devices := flag.Int("devices", 10000, "population size")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	days := flag.Float64("days", 365, "simulated horizon per device, full-scale days")
+	seed := flag.Int64("seed", 42, "root seed; the run is a pure function of the flags")
+	scale := flag.Int64("scale", 4096, "device capacity divisor (volumes/times multiplied back)")
+	req := flag.Int64("req", 64<<10, "workload rewrite request size in bytes")
+	buggy := flag.Float64("buggy", 0.07, "fraction of devices running a write-buggy app")
+	attack := flag.Float64("attack", 0.03, "fraction of devices under deliberate wear attack")
+	csvPath := flag.String("csv", "", "also write histogram CSV to this path (\"-\" = stdout)")
+	quiet := flag.Bool("quiet", false, "suppress progress output on stderr")
+	flag.Parse()
+
+	if *buggy < 0 || *attack < 0 || *buggy+*attack > 1 {
+		fmt.Fprintln(os.Stderr, "fleetsim: -buggy and -attack must be non-negative and sum to at most 1")
+		os.Exit(2)
+	}
+	spec := fleet.Spec{
+		Devices:  *devices,
+		Workers:  *workers,
+		Seed:     *seed,
+		Days:     *days,
+		Scale:    *scale,
+		ReqBytes: *req,
+		Classes: []fleet.ClassWeight{
+			{Class: fleet.ClassBenign, Weight: 1 - *buggy - *attack},
+			{Class: fleet.ClassBuggy, Weight: *buggy},
+			{Class: fleet.ClassAttack, Weight: *attack},
+		},
+	}
+	if !*quiet {
+		var mu sync.Mutex
+		step := *devices / 100
+		if step == 0 {
+			step = 1
+		}
+		spec.Progress = func(done, total int) {
+			if done%step != 0 && done != total {
+				return
+			}
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "\rfleetsim: %d/%d devices", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+			mu.Unlock()
+		}
+	}
+
+	res, err := fleet.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	render(os.Stdout, res)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func render(w *os.File, res *fleet.Result) {
+	spec := res.Spec
+	fmt.Fprintf(w, "Fleet of %d devices over %g days (seed %d, scale %d, req %s)\n\n",
+		spec.Devices, spec.Days, spec.Seed, spec.Scale, report.SizeLabel(spec.ReqBytes))
+
+	t := res.Total
+	fmt.Fprintf(w, "bricked: %d of %d (%.2f%%)", t.Bricked, t.Devices, t.BrickFraction()*100)
+	if t.Bricked > 0 {
+		fmt.Fprintf(w, ", mean time-to-brick %.1f days", t.MeanDaysToBrick())
+	}
+	fmt.Fprintf(w, "\nhost data absorbed: %s\n\n", report.HumanBytes(t.HostMiB<<20))
+
+	if t.Bricked > 0 {
+		ps := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+		ttb := report.Percentiles(res.TimeToBrick, ps...)
+		gib := report.Percentiles(res.DeathGiB, ps...)
+		tbl := report.NewTable("Bricked devices", "percentile", "days-to-brick", "GiB-at-death")
+		for i, p := range ps {
+			tbl.AddRow(fmt.Sprintf("p%g", p*100), ttb[i], gib[i])
+		}
+		tbl.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	groupTable(w, "By workload class", res.ByClass)
+	groupTable(w, "By device model", res.ByProfile)
+
+	if n := t.Devices - t.Bricked; n > 0 {
+		chart := report.NewBarChart(
+			fmt.Sprintf("Survivor wear (JEDEC Type B level, %d devices)", n), "devices")
+		for i, c := range res.SurvivorWear.Counts {
+			chart.Add(fmt.Sprintf("level %2d", i), float64(c))
+		}
+		chart.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	wa := report.Percentiles(res.WriteAmp, 0.50, 0.90, 0.99)
+	fmt.Fprintf(w, "write amplification: p50 %.2f  p90 %.2f  p99 %.2f\n", wa[0], wa[1], wa[2])
+}
+
+// groupTable renders a per-group breakdown with keys sorted so the output
+// is deterministic (map iteration order is not).
+func groupTable(w *os.File, title string, groups map[string]*fleet.Group) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tbl := report.NewTable(title, "group", "devices", "bricked", "brick%", "mean-days", "host-data")
+	for _, k := range keys {
+		g := groups[k]
+		tbl.AddRow(k, g.Devices, g.Bricked,
+			fmt.Sprintf("%.2f", g.BrickFraction()*100),
+			fmt.Sprintf("%.1f", g.MeanDaysToBrick()),
+			report.HumanBytes(g.HostMiB<<20))
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w)
+}
+
+func writeCSV(path string, res *fleet.Result) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	res.TimeToBrick.RenderCSV(out, "days_to_brick")
+	res.DeathGiB.RenderCSV(out, "gib_at_death")
+	res.SurvivorWear.RenderCSV(out, "survivor_wear_level")
+	res.WriteAmp.RenderCSV(out, "write_amp")
+	return nil
+}

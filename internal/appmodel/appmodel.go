@@ -67,8 +67,14 @@ type Camera struct {
 // NewCamera builds a camera model with typical defaults (24 MiB bursts of
 // 3 MiB photos every 6 hours).
 func NewCamera(storage fs.FileSystem, clock *simclock.Clock, seed int64) *Camera {
+	return NewCameraRand(storage, clock, rand.New(rand.NewSource(seed)))
+}
+
+// NewCameraRand is NewCamera with an injected random source, for callers
+// (like the fleet sampler) that derive one RNG per simulated device.
+func NewCameraRand(storage fs.FileSystem, clock *simclock.Clock, rng *rand.Rand) *Camera {
 	return &Camera{
-		base:       base{name: "camera", storage: storage, clock: clock, rng: rand.New(rand.NewSource(seed))},
+		base:       base{name: "camera", storage: storage, clock: clock, rng: rng},
 		BurstBytes: 24 << 20,
 		PhotoBytes: 3 << 20,
 		Every:      6 * time.Hour,
@@ -149,8 +155,13 @@ type Chat struct {
 
 // NewChat builds a chat model (2 KiB messages every 2 minutes).
 func NewChat(storage fs.FileSystem, clock *simclock.Clock, seed int64) *Chat {
+	return NewChatRand(storage, clock, rand.New(rand.NewSource(seed)))
+}
+
+// NewChatRand is NewChat with an injected random source.
+func NewChatRand(storage fs.FileSystem, clock *simclock.Clock, rng *rand.Rand) *Chat {
 	return &Chat{
-		base:           base{name: "chat", storage: storage, clock: clock, rng: rand.New(rand.NewSource(seed))},
+		base:           base{name: "chat", storage: storage, clock: clock, rng: rng},
 		MessageBytes:   2 << 10,
 		Every:          2 * time.Minute,
 		LogRotateBytes: 1 << 20,
@@ -243,8 +254,13 @@ type Updater struct {
 // NewUpdater builds an updater model (128 MiB monthly, scaled down by the
 // caller as needed).
 func NewUpdater(storage fs.FileSystem, clock *simclock.Clock, seed int64) *Updater {
+	return NewUpdaterRand(storage, clock, rand.New(rand.NewSource(seed)))
+}
+
+// NewUpdaterRand is NewUpdater with an injected random source.
+func NewUpdaterRand(storage fs.FileSystem, clock *simclock.Clock, rng *rand.Rand) *Updater {
 	return &Updater{
-		base:        base{name: "updater", storage: storage, clock: clock, rng: rand.New(rand.NewSource(seed))},
+		base:        base{name: "updater", storage: storage, clock: clock, rng: rng},
 		UpdateBytes: 128 << 20,
 		Every:       30 * 24 * time.Hour,
 	}
@@ -305,8 +321,13 @@ type SpotifyBug struct {
 // NewSpotifyBug builds the buggy cache writer (32 MiB cache rewritten in
 // 128 KiB chunks, continuously).
 func NewSpotifyBug(storage fs.FileSystem, clock *simclock.Clock, seed int64) *SpotifyBug {
+	return NewSpotifyBugRand(storage, clock, rand.New(rand.NewSource(seed)))
+}
+
+// NewSpotifyBugRand is NewSpotifyBug with an injected random source.
+func NewSpotifyBugRand(storage fs.FileSystem, clock *simclock.Clock, rng *rand.Rand) *SpotifyBug {
 	return &SpotifyBug{
-		base:       base{name: "spotify-bug", storage: storage, clock: clock, rng: rand.New(rand.NewSource(seed))},
+		base:       base{name: "spotify-bug", storage: storage, clock: clock, rng: rng},
 		CacheBytes: 32 << 20,
 		ReqBytes:   128 << 10,
 	}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"flashwear/internal/device"
+)
+
+// testSpec is a small fleet that still exercises every workload class and
+// bricks some devices. Simulating a brick costs ~capacity×RatedPE page
+// programs no matter how the workload is arranged, so the test derates the
+// profiles' endurance (wear physics are linear in RatedPE) to keep the
+// -race run short; the mix leans on the BLU 4GB profile because it is the
+// cheapest to kill.
+func testSpec(workers int) Spec {
+	blu, moto := device.ProfileBLU4(), device.ProfileMotoE8()
+	blu.RatedPE = 150  // 600 on the real device
+	moto.RatedPE = 300 // 1300 on the real device
+	return Spec{
+		Devices: 64,
+		Workers: workers,
+		Seed:    42,
+		Days:    8,
+		Scale:   8192,
+		Profiles: []ProfileWeight{
+			{blu, 0.8},
+			{moto, 0.2},
+		},
+		Classes: []ClassWeight{
+			{ClassBenign, 0.86},
+			{ClassBuggy, 0.06},
+			{ClassAttack, 0.08},
+		},
+	}
+}
+
+// stripSpec clears the non-comparable parts so Results can be DeepEqual'd.
+func stripSpec(r *Result) *Result {
+	r.Spec = Spec{}
+	return r
+}
+
+// TestFleetDeterminism is the subsystem's core guarantee: the same seed
+// produces byte-identical aggregates across repeated runs AND across
+// worker counts (64 devices, 4 workers vs 1). Run under -race this also
+// exercises the pool for data races (the Makefile's check target does
+// exactly that). The sanity assertions ride on the first run so the test
+// stays affordable.
+func TestFleetDeterminism(t *testing.T) {
+	ctx := context.Background()
+	first, err := Run(ctx, testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(ctx, testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(ctx, testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- population sanity on the first run ---
+	if first.Total.Devices != 64 {
+		t.Fatalf("simulated %d devices, want 64", first.Total.Devices)
+	}
+	if first.Total.Bricked == 0 {
+		t.Fatal("no devices bricked; the spec should produce some deaths")
+	}
+	if first.Total.Bricked == first.Total.Devices {
+		t.Fatal("every device bricked; the spec should keep most survivors")
+	}
+	// Benign phones must essentially never brick inside the short horizon;
+	// the deliberate attack kills low-endurance phones within days (§4.4).
+	if g := first.ByClass[ClassBenign.String()]; g == nil || g.Bricked != 0 {
+		t.Errorf("benign group bricked %v, want 0", g)
+	}
+	atk := first.ByClass[ClassAttack.String()]
+	if atk == nil || atk.Devices == 0 {
+		t.Fatal("no attack devices sampled; widen the spec")
+	}
+	if atk.Bricked == 0 {
+		t.Errorf("no attack device bricked within %g days", first.Spec.Days)
+	}
+	if m := atk.MeanDaysToBrick(); m <= 0 || m >= first.Spec.Days {
+		t.Errorf("attack mean days-to-brick = %g, want within (0, %g)", m, first.Spec.Days)
+	}
+	// Bricked + survivor tallies must partition the population.
+	if got := first.TimeToBrick.Total(); got != first.Total.Bricked {
+		t.Errorf("time-to-brick histogram holds %d, want %d", got, first.Total.Bricked)
+	}
+	if got := first.SurvivorWear.Total(); got != first.Total.Devices-first.Total.Bricked {
+		t.Errorf("survivor-wear histogram holds %d, want %d",
+			got, first.Total.Devices-first.Total.Bricked)
+	}
+	if got := first.WriteAmp.Total(); got != first.Total.Devices {
+		t.Errorf("write-amp histogram holds %d, want %d", got, first.Total.Devices)
+	}
+
+	// --- determinism ---
+	if !reflect.DeepEqual(stripSpec(first), stripSpec(again)) {
+		t.Errorf("same spec, different aggregates across runs:\n%+v\nvs\n%+v", first, again)
+	}
+	if !reflect.DeepEqual(stripSpec(first), stripSpec(serial)) {
+		t.Errorf("workers=4 vs workers=1 aggregates differ:\n%+v\nvs\n%+v", first, serial)
+	}
+}
+
+func TestSamplerIsPure(t *testing.T) {
+	spec := testSpec(0).Defaults()
+	for i := 0; i < 128; i++ {
+		a, b := spec.sample(i), spec.sample(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sample(%d) differs across calls: %+v vs %+v", i, a, b)
+		}
+	}
+	// Distinct devices must not all collapse onto one seed.
+	seen := make(map[int64]bool)
+	for i := 0; i < 128; i++ {
+		seen[spec.sample(i).Seed] = true
+	}
+	if len(seen) != 128 {
+		t.Errorf("only %d distinct seeds over 128 devices", len(seen))
+	}
+}
+
+func TestFleetProgressAndCancellation(t *testing.T) {
+	var calls atomic.Int64
+	spec := testSpec(2)
+	spec.Devices = 8
+	spec.Classes = []ClassWeight{{ClassBenign, 1}}
+	spec.Progress = func(done, total int) {
+		calls.Add(1)
+		if total != 8 || done < 1 || done > 8 {
+			t.Errorf("Progress(%d, %d) out of range", done, total)
+		}
+	}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 8 {
+		t.Errorf("Progress called %d times, want 8", calls.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, spec); err == nil {
+		t.Error("Run on a cancelled context returned nil error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no devices", func(s *Spec) { s.Devices = 0 }},
+		{"negative days", func(s *Spec) { s.Days = -1 }},
+		{"tiny requests", func(s *Spec) { s.ReqBytes = 256 }},
+		{"zero profile weights", func(s *Spec) {
+			s.Profiles = []ProfileWeight{{device.ProfileMotoE8(), 0}}
+		}},
+		{"negative class weight", func(s *Spec) {
+			s.Classes = []ClassWeight{{ClassBenign, -1}, {ClassAttack, 2}}
+		}},
+	} {
+		spec := testSpec(1).Defaults()
+		tc.mut(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+		}
+	}
+	if err := testSpec(1).Defaults().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

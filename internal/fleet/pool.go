@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Run simulates the fleet described by spec and returns the merged
+// population statistics. It blocks until every device has run, spec's
+// context is cancelled, or a device fails.
+//
+// Scheduling is dynamic — an atomic cursor hands the next device index to
+// whichever worker frees up first — but the Result is independent of both
+// the schedule and Workers: device parameters derive from (Seed, index)
+// alone, each device simulates on a private stack, and accumulator merging
+// is integer-additive. See the package documentation.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec = spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers > spec.Devices {
+		workers = spec.Devices
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		cursor   atomic.Int64 // next device index to hand out
+		done     atomic.Int64 // completed devices, for Progress
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	accs := make([]*Accumulator, workers)
+	for w := 0; w < workers; w++ {
+		acc := newAccumulator(spec)
+		accs[w] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(cursor.Add(1) - 1)
+				if i >= spec.Devices {
+					return
+				}
+				res, err := simulateDevice(ctx, spec, spec.sample(i))
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				acc.add(res)
+				if spec.Progress != nil {
+					spec.Progress(int(done.Add(1)), spec.Devices)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The caller's context may have been cancelled between devices, in
+	// which case no worker recorded an error but the run is incomplete.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		if err := merged.merge(acc); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Spec: spec, Accumulator: merged}, nil
+}

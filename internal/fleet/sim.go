@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"flashwear/internal/core"
+	"flashwear/internal/device"
+	"flashwear/internal/fs"
+	"flashwear/internal/fs/extfs"
+	"flashwear/internal/ftl"
+	"flashwear/internal/simclock"
+	"flashwear/internal/workload"
+)
+
+// DeviceResult is the outcome of one simulated phone. Volumes and times
+// are full-scale (the per-device capacity scaling is already multiplied
+// back).
+type DeviceResult struct {
+	Index       int
+	ProfileName string
+	Class       Class
+	// Bricked reports device death within the horizon.
+	Bricked bool
+	// Days is the time from workload start to brick (or to the horizon
+	// for survivors), in full-scale days.
+	Days float64
+	// HostBytes is total host data the device absorbed, including the
+	// initial file-system and file-set fill.
+	HostBytes int64
+	// WearLevel is the final Type B JEDEC wear-indicator level (FTL
+	// ground truth, so it is meaningful even on BLU-class devices whose
+	// registers read garbage).
+	WearLevel int
+	// WA is the device's cumulative write amplification.
+	WA float64
+}
+
+// pacer wraps a StepFunc to hold its long-run average to a target rate:
+// after each burst it idles the device's clock until the bytes written so
+// far are "due" at that rate. Benign phones therefore spend almost all
+// simulated time idle, exactly like real ones, and simulated wear stays a
+// function of volume, not of polling granularity.
+type pacer struct {
+	clock *simclock.Clock
+	step  core.StepFunc
+	// perSimSecond is the target rate in bytes per simulated second.
+	// Capacity scaling preserves rates (volume and time divide by the
+	// same factor), so the full-scale daily rate applies unchanged on the
+	// scaled device.
+	perSimSecond float64
+
+	start   time.Duration
+	started bool
+	written int64
+}
+
+func (p *pacer) Step(budget int64) (int64, error) {
+	if !p.started {
+		p.started = true
+		p.start = p.clock.Now()
+	}
+	n, err := p.step(budget)
+	p.written += n
+	due := time.Duration(float64(p.written) / p.perSimSecond * float64(time.Second))
+	if owed := due - (p.clock.Now() - p.start); owed > 0 {
+		p.clock.Advance(owed)
+	}
+	return n, err
+}
+
+// simulateDevice runs one phone from install to brick or horizon. It is
+// self-contained: everything it touches is built here, so concurrent calls
+// share no mutable state.
+func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, error) {
+	prof := spec.Profiles[p.profile.idx].Profile
+	prof.Seed = p.Seed
+	eff := prof.EffectiveScale(spec.Scale)
+	clock := simclock.New()
+	dev, err := device.New(prof.Scaled(spec.Scale), clock)
+	if err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
+	}
+	if err := extfs.Mkfs(dev); err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): mkfs: %w", p.Index, prof.Name, err)
+	}
+	fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
+	if err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): mount: %w", p.Index, prof.Name, err)
+	}
+
+	// The paper's file-set shape: a few files in a private directory,
+	// rewritten at random offsets — under a few percent of capacity at
+	// full scale, clamped up so tiny scaled devices still have room for
+	// random addressing.
+	fileSize := dev.Size() / 40
+	if min := 4 * spec.ReqBytes; fileSize < min {
+		fileSize = min
+	}
+	set := workload.NewFileSet(fsys, "/app", fileSize, p.Seed+1)
+	set.ReqBytes = spec.ReqBytes
+	if err := set.Setup(); err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): setup: %w", p.Index, prof.Name, err)
+	}
+
+	runner := core.NewRunner(dev, clock, eff)
+	runner.StepBytes = spec.StepBytes
+	runner.Pattern = p.Class.String()
+
+	step := core.StepFunc(set.Step)
+	if p.DailyBytes > 0 {
+		step = (&pacer{
+			clock:        clock,
+			step:         set.Step,
+			perSimSecond: float64(p.DailyBytes) / (24 * 60 * 60),
+		}).Step
+	}
+	// The horizon in scaled simulated time: full-scale days divide by the
+	// effective scale, mirroring how the runner multiplies times back.
+	horizonEnd := clock.Now() + time.Duration(spec.Days/float64(eff)*24*float64(time.Hour))
+	stop := func() bool {
+		return clock.Now() >= horizonEnd || ctx.Err() != nil
+	}
+	if err := runner.RunPhase(step, 0, stop); err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return DeviceResult{}, err
+	}
+	rep := runner.Report()
+	return DeviceResult{
+		Index:       p.Index,
+		ProfileName: prof.Name,
+		Class:       p.Class,
+		Bricked:     rep.Bricked,
+		Days:        rep.TotalHours / 24,
+		HostBytes:   dev.BytesWritten() * eff,
+		WearLevel:   dev.FTL().WearIndicator(ftl.PoolB),
+		WA:          rep.FinalWA,
+	}, nil
+}
