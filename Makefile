@@ -19,8 +19,10 @@ test:
 race:
 	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
 
+# One pass over every benchmark (each regenerates a paper exhibit);
+# -benchtime=1x keeps it a smoke run. Drop the flag for real timings.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchtime=1x -benchmem .
 
 # The verification entrypoint: everything CI (or a reviewer) should run.
 check: vet build test race

@@ -13,12 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"flashwear/internal/blockdev"
 	"flashwear/internal/device"
 	"flashwear/internal/ftl"
 	"flashwear/internal/report"
 	"flashwear/internal/simclock"
+	"flashwear/internal/telemetry"
 	"flashwear/internal/trace"
 	"flashwear/internal/workload"
 )
@@ -33,6 +36,8 @@ func main() {
 	fill := flag.Float64("fill", 0, "pre-fill this fraction of the device with static data")
 	record := flag.String("record", "", "record the I/O trace to this file")
 	replay := flag.String("replay", "", "replay a recorded trace instead of generating a pattern")
+	metricsCSV := flag.String("metrics-csv", "", "sample telemetry and write the series here (\"-\" = stdout, .json for JSON)")
+	metricsEvery := flag.Duration("metrics-every", 10*time.Second, "simulated sampling cadence for -metrics-csv")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +66,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(1)
 	}
+	// Telemetry attaches at device birth — before the pre-fill — so push
+	// and pull counters agree; the sampler runs on the simulated clock, so
+	// the series is a pure function of the flags.
+	var reg *telemetry.Registry
+	if *metricsCSV != "" {
+		reg = telemetry.NewRegistry()
+		dev.Instrument(reg)
+	}
+
 	if *fill > 0 {
 		if _, err := workload.FillDevice(dev, *fill); err != nil {
 			fmt.Fprintln(os.Stderr, "flashsim: fill:", err)
@@ -73,6 +87,16 @@ func main() {
 	if *record != "" {
 		recorder = trace.NewRecorder(dev, clock)
 		target = recorder
+	}
+
+	// The sampler starts only once every instrument is registered: the
+	// first snapshot freezes the series' column layout.
+	var sampler *telemetry.Sampler
+	if reg != nil {
+		if recorder != nil {
+			recorder.Instrument(reg)
+		}
+		sampler = telemetry.NewSampler(reg, clock, *metricsEvery)
 	}
 
 	start := clock.Now()
@@ -110,6 +134,15 @@ func main() {
 	}
 	elapsed := clock.Now() - start
 
+	if sampler != nil {
+		sampler.Stop()
+		sampler.Final()
+		if err := writeSeries(*metricsCSV, sampler.Series()); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim: metrics:", err)
+			os.Exit(1)
+		}
+	}
+
 	if recorder != nil {
 		out, err := os.Create(*record)
 		if err != nil {
@@ -145,4 +178,25 @@ func main() {
 	if dev.Bricked() {
 		fmt.Println("DEVICE BRICKED")
 	}
+}
+
+// writeSeries writes the sampled series to path — JSON when the path ends
+// in .json, CSV otherwise; "-" means CSV on stdout.
+func writeSeries(path string, s *telemetry.Series) error {
+	render := s.WriteCSV
+	if strings.HasSuffix(path, ".json") {
+		render = s.WriteJSON
+	}
+	if path == "-" {
+		return s.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

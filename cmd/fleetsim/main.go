@@ -15,9 +15,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"flashwear/internal/fleet"
 	"flashwear/internal/report"
@@ -33,6 +35,8 @@ func main() {
 	buggy := flag.Float64("buggy", 0.07, "fraction of devices running a write-buggy app")
 	attack := flag.Float64("attack", 0.03, "fraction of devices under deliberate wear attack")
 	csvPath := flag.String("csv", "", "also write histogram CSV to this path (\"-\" = stdout)")
+	metricsCSV := flag.String("metrics-csv", "", "write the sampled population time series to this path (\"-\" = stdout)")
+	metricsEvery := flag.Duration("metrics-every", 24*time.Hour, "full-scale sampling cadence for -metrics-csv")
 	quiet := flag.Bool("quiet", false, "suppress progress output on stderr")
 	flag.Parse()
 
@@ -52,6 +56,9 @@ func main() {
 			{Class: fleet.ClassBuggy, Weight: *buggy},
 			{Class: fleet.ClassAttack, Weight: *attack},
 		},
+	}
+	if *metricsCSV != "" {
+		spec.MetricsEvery = *metricsEvery
 	}
 	if !*quiet {
 		var mu sync.Mutex
@@ -84,6 +91,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsCSV != "" {
+		if err := writeTo(*metricsCSV, res.WriteMetricsCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTo writes via fn to path, or stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func render(w *os.File, res *fleet.Result) {

@@ -15,11 +15,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"time"
 
 	"flashwear/internal/experiments"
 	"flashwear/internal/ftl"
 	"flashwear/internal/report"
+	"flashwear/internal/telemetry"
 )
 
 func main() {
@@ -29,12 +33,31 @@ func main() {
 	budget := flag.Bool("budget", false, "run the BLU budget-phone bricking experiment")
 	scale := flag.Int64("scale", 256, "device capacity divisor (1 = full size, slow)")
 	maxLevel := flag.Int("maxlevel", 11, "stop once the Type B indicator reaches this level")
+	metricsCSV := flag.String("metrics-csv", "", "write sampled per-run telemetry here in long form (\"-\" = stdout)")
+	metricsEvery := flag.Duration("metrics-every", 24*time.Hour, "full-scale sampling cadence for -metrics-csv")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Scale:    *scale,
 		MaxLevel: *maxLevel,
 		Progress: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	}
+
+	var metricsOut *os.File
+	if *metricsCSV != "" {
+		metricsOut = os.Stdout
+		if *metricsCSV != "-" {
+			f, err := os.Create(*metricsCSV)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "weartest:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			metricsOut = f
+		}
+		mw := &metricsWriter{w: metricsOut}
+		cfg.MetricsEvery = *metricsEvery
+		cfg.MetricsSink = mw.sink
 	}
 
 	ran := false
@@ -143,6 +166,29 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// metricsWriter renders sampled series in long form — one
+// (label,hours,metric,value) row per instrument per sample — so runs with
+// different instrument sets (hybrid vs plain devices, ext4 vs F2FS) share
+// one plottable file. Hours are full-scale: series times are at device
+// scale and multiply back by the run's effective scale divisor.
+type metricsWriter struct {
+	w          io.Writer
+	headerDone bool
+}
+
+func (mw *metricsWriter) sink(label string, eff int64, s *telemetry.Series) {
+	if !mw.headerDone {
+		fmt.Fprintln(mw.w, "label,hours,metric,value")
+		mw.headerDone = true
+	}
+	for _, row := range s.Rows {
+		hours := strconv.FormatFloat(row.At.Hours()*float64(eff), 'g', -1, 64)
+		for i, v := range row.Values {
+			fmt.Fprintf(mw.w, "%s,%s,%s,%s\n", label, hours, s.Columns[i], telemetry.FormatCell(s.Kinds[i], v))
+		}
 	}
 }
 

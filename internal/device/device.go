@@ -34,6 +34,7 @@ type Device struct {
 
 	bytesWritten int64
 	bytesRead    int64
+	extCSDReads  int64
 }
 
 // New builds a device from a profile on the given clock.

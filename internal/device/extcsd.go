@@ -53,6 +53,7 @@ func (d *Device) WearHistogram(bins int) []int {
 // `mmc extcsd read`. For profiles flagged UnreliableIndicator the life-time
 // bytes carry the same garbage the registers return.
 func (d *Device) ExtCSD() [512]byte {
+	d.extCSDReads++
 	var csd [512]byte
 	csd[ExtCSDRev] = 8 // eMMC 5.1
 	sectors := uint32(d.Size() / 512)

@@ -1,0 +1,42 @@
+package device
+
+import (
+	"flashwear/internal/ftl"
+	"flashwear/internal/telemetry"
+)
+
+// Instrument registers the device's host-side counters and JEDEC health
+// gauges with reg, and recursively attaches the FTL and its chips. Call it
+// at device birth, before any host I/O, so push and pull counters agree.
+//
+// The wear-level gauges deliberately read the FTL's ground-truth estimate,
+// NOT Device.WearIndicator: on UnreliableIndicator profiles the register
+// read draws from the device RNG (garbage values, like the real BLU
+// parts), and telemetry must never perturb the simulation it observes
+// (DESIGN.md §7). The register's lies remain observable through the
+// emmc/ExtCSD path, which models an actual host read.
+func (d *Device) Instrument(reg *telemetry.Registry) {
+	d.f.Attach(reg)
+	d.f.MainChip().Instrument(reg, "main")
+	if c := d.f.CacheChip(); c != nil {
+		c.Instrument(reg, "cache")
+	}
+	reg.CounterFunc("device.bytes_written", func() int64 { return d.bytesWritten })
+	reg.CounterFunc("device.bytes_read", func() int64 { return d.bytesRead })
+	reg.CounterFunc("device.ext_csd_reads", func() int64 { return d.extCSDReads })
+	reg.GaugeFunc("device.busy_hours", func() float64 { return d.busy.Hours() })
+	reg.GaugeFunc("device.bricked", func() float64 {
+		if d.f.Bricked() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc(telemetry.Name("device.wear_level", "pool", "a"), func() float64 {
+		return float64(d.f.WearIndicator(ftl.PoolA))
+	})
+	reg.GaugeFunc(telemetry.Name("device.wear_level", "pool", "b"), func() float64 {
+		return float64(d.f.WearIndicator(ftl.PoolB))
+	})
+	reg.GaugeFunc("device.pre_eol", func() float64 { return float64(d.f.PreEOLInfo()) })
+	reg.GaugeFunc("device.life_consumed", func() float64 { return d.f.LifeConsumed(ftl.PoolB) })
+}

@@ -70,6 +70,14 @@ type Response struct {
 	Data []byte
 }
 
+// Stats counts transport activity since creation.
+type Stats struct {
+	Commands     int64 // commands issued, legal or not
+	ExtCSDReads  int64 // CMD8 register reads (health polls)
+	BytesRead    int64 // data-phase bytes returned to the host
+	BytesWritten int64 // data-phase bytes accepted from the host
+}
+
 // Controller is the card-side command state machine wrapped around a
 // simulated device.
 type Controller struct {
@@ -82,6 +90,8 @@ type Controller struct {
 	eraseStart int64
 	eraseEnd   int64
 	erasePend  bool
+
+	stats Stats
 }
 
 // New wraps a device; the card starts in the idle state, as after power-on.
@@ -97,6 +107,7 @@ func (c *Controller) r1(bits uint32) uint32 {
 // Send issues a command without a data phase (or whose data phase is a
 // response, like CMD8). Data for writes goes through SendData.
 func (c *Controller) Send(cmd uint8, arg uint32) (Response, error) {
+	c.stats.Commands++
 	switch cmd {
 	case CmdGoIdleState:
 		c.state = StateIdle
@@ -137,6 +148,7 @@ func (c *Controller) Send(cmd uint8, arg uint32) (Response, error) {
 		if c.state != StateTran {
 			return c.illegal()
 		}
+		c.stats.ExtCSDReads++
 		csd := c.dev.ExtCSD()
 		return Response{R1: c.r1(0), Data: csd[:]}, nil
 
@@ -208,6 +220,7 @@ func (c *Controller) Send(cmd uint8, arg uint32) (Response, error) {
 
 // SendData issues a write command with its data phase (CMD24/CMD25).
 func (c *Controller) SendData(cmd uint8, arg uint32, data []byte) (Response, error) {
+	c.stats.Commands++
 	if c.state != StateTran {
 		return c.illegal()
 	}
@@ -232,6 +245,7 @@ func (c *Controller) SendData(cmd uint8, arg uint32, data []byte) (Response, err
 	if err := c.dev.WriteAt(data, off); err != nil {
 		return Response{R1: c.r1(StatusErrorBit | StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
 	}
+	c.stats.BytesWritten += int64(len(data))
 	return Response{R1: c.r1(0)}, nil
 }
 
@@ -244,6 +258,7 @@ func (c *Controller) read(arg uint32, blocks int) (Response, error) {
 	if err := c.dev.ReadAt(buf, off); err != nil {
 		return Response{R1: c.r1(StatusErrorBit | StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
 	}
+	c.stats.BytesRead += int64(len(buf))
 	return Response{R1: c.r1(0), Data: buf}, nil
 }
 
@@ -295,3 +310,6 @@ func (c *Controller) Init(rca uint16) error {
 
 // State returns the card's current state (for tests and diagnostics).
 func (c *Controller) State() int { return c.state }
+
+// Stats returns a snapshot of transport counters.
+func (c *Controller) Stats() Stats { return c.stats }

@@ -1,0 +1,12 @@
+package emmc
+
+import "flashwear/internal/telemetry"
+
+// Instrument registers the transport counters with reg under "emmc.*".
+// Pure observers only; see DESIGN.md §7.
+func (c *Controller) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("emmc.commands", func() int64 { return c.stats.Commands })
+	reg.CounterFunc("emmc.ext_csd_reads", func() int64 { return c.stats.ExtCSDReads })
+	reg.CounterFunc("emmc.bytes_read", func() int64 { return c.stats.BytesRead })
+	reg.CounterFunc("emmc.bytes_written", func() int64 { return c.stats.BytesWritten })
+}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"flashwear/internal/android"
 	"flashwear/internal/blockdev"
@@ -20,6 +21,7 @@ import (
 	"flashwear/internal/fs/f2fs"
 	"flashwear/internal/ftl"
 	"flashwear/internal/simclock"
+	"flashwear/internal/telemetry"
 )
 
 // Config controls experiment cost.
@@ -32,6 +34,13 @@ type Config struct {
 	MaxLevel int
 	// Progress, if non-nil, receives one line per completed phase.
 	Progress func(format string, args ...any)
+	// MetricsEvery, when positive, samples each wear run's telemetry
+	// registry at this full-scale simulated cadence (the per-device cadence
+	// divides by the effective scale, like every reported time).
+	MetricsEvery time.Duration
+	// MetricsSink receives each run's sampled series; series times are at
+	// device scale, so full-scale hours are row.At.Hours() * eff.
+	MetricsSink func(label string, eff int64, series *telemetry.Series)
 }
 
 // Defaults fills zero fields: scale 256, run to level 11.
@@ -108,9 +117,30 @@ func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.Run
 	if err != nil {
 		return core.RunReport{}, err
 	}
+	// Telemetry attaches at device birth — before mkfs — so the counters
+	// include the file-system fill (DESIGN.md §7). The sampler starts only
+	// after every instrument is registered (a sample firing mid-mkfs would
+	// otherwise freeze the series' column layout too early).
+	var reg *telemetry.Registry
+	if cfg.MetricsEvery > 0 && cfg.MetricsSink != nil {
+		reg = telemetry.NewRegistry()
+		dev.Instrument(reg)
+	}
 	fsys, err := mountFS(dev, kind)
 	if err != nil {
 		return core.RunReport{}, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+	}
+	var sampler *telemetry.Sampler
+	if reg != nil {
+		if in, ok := fsys.(interface{ Instrument(*telemetry.Registry) }); ok {
+			in.Instrument(reg)
+		}
+		scaledEvery := cfg.MetricsEvery / time.Duration(eff)
+		if scaledEvery <= 0 {
+			return core.RunReport{}, fmt.Errorf("%s/%s: metrics cadence %v vanishes at scale %d",
+				prof.Name, kind, cfg.MetricsEvery, eff)
+		}
+		sampler = telemetry.NewSampler(reg, clock, scaledEvery)
 	}
 	set := newAttackSet(fsys, eff)
 	fitFileSet(set, dev.Size())
@@ -122,6 +152,11 @@ func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.Run
 	runner.SpaceUtil = dev.FTL().Utilisation()
 	if err := runner.RunPhase(set.Step, 0, runner.UntilLevel(ftl.PoolB, cfg.MaxLevel)); err != nil {
 		return core.RunReport{}, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+	}
+	if sampler != nil {
+		sampler.Stop()
+		sampler.Final()
+		cfg.MetricsSink(fmt.Sprintf("%s/%s", prof.Name, kind), eff, sampler.Series())
 	}
 	return runner.Report(), nil
 }

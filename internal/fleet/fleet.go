@@ -99,13 +99,16 @@ type Accumulator struct {
 	SurvivorWear *report.Histogram
 	// WriteAmp histograms per-device cumulative write amplification.
 	WriteAmp *report.Histogram
+	// Metrics is the population wear trajectory sampled every
+	// Spec.MetricsEvery (nil when sampling is disabled).
+	Metrics *MetricsSeries
 
 	ByProfile map[string]*Group
 	ByClass   map[string]*Group
 }
 
 func newAccumulator(spec Spec) *Accumulator {
-	return &Accumulator{
+	a := &Accumulator{
 		TimeToBrick:  report.NewHistogram(0, spec.Days, 120),
 		DeathGiB:     report.NewHistogram(0, 40960, 160), // 256 GiB buckets to 40 TiB
 		SurvivorWear: report.NewHistogram(0, 12, 12),
@@ -113,6 +116,10 @@ func newAccumulator(spec Spec) *Accumulator {
 		ByProfile:    make(map[string]*Group),
 		ByClass:      make(map[string]*Group),
 	}
+	if spec.MetricsEvery > 0 {
+		a.Metrics = newMetricsSeries(spec)
+	}
+	return a
 }
 
 func groupFor(m map[string]*Group, key string) *Group {
@@ -135,6 +142,9 @@ func (a *Accumulator) add(r DeviceResult) {
 		a.SurvivorWear.Add(float64(r.WearLevel))
 	}
 	a.WriteAmp.Add(r.WA)
+	if a.Metrics != nil && r.metrics != nil {
+		a.Metrics.addDevice(r.metrics)
+	}
 }
 
 func (a *Accumulator) merge(o *Accumulator) error {
@@ -147,6 +157,11 @@ func (a *Accumulator) merge(o *Accumulator) error {
 	} {
 		if err := pair.dst.Merge(pair.src); err != nil {
 			return fmt.Errorf("fleet: merge: %w", err)
+		}
+	}
+	if a.Metrics != nil {
+		if err := a.Metrics.merge(o.Metrics); err != nil {
+			return err
 		}
 	}
 	for k, g := range o.ByProfile {

@@ -1,10 +1,15 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"flashwear/internal/device"
 )
@@ -107,6 +112,63 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(stripSpec(first), stripSpec(serial)) {
 		t.Errorf("workers=4 vs workers=1 aggregates differ:\n%+v\nvs\n%+v", first, serial)
+	}
+}
+
+// TestFleetMetricsDeterminism extends the core guarantee to the sampled
+// time series: with MetricsEvery set, the rendered CSV must be
+// byte-identical across worker counts (the acceptance bar for fleet
+// observability). Sanity checks ride on one run: the devices column is the
+// full population on every row, the bricked column is monotone, and its
+// final value agrees with the aggregate brick count.
+func TestFleetMetricsDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func(workers int) (*Result, string) {
+		spec := testSpec(workers)
+		spec.Devices = 32
+		spec.MetricsEvery = 48 * time.Hour // 4 rows over the 8-day horizon
+		res, err := Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteMetricsCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+
+	res, csv := run(1)
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows:\n%s", len(lines), csv)
+	}
+	lastBricked := int64(-1)
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 11 {
+			t.Fatalf("row %q has %d columns, want 11", line, len(cols))
+		}
+		if cols[1] != "32" {
+			t.Errorf("row %q: devices = %s, want 32 (bricked devices must freeze, not drop out)", line, cols[1])
+		}
+		bricked, err := strconv.ParseInt(cols[2], 10, 64)
+		if err != nil || bricked < lastBricked {
+			t.Errorf("row %q: bricked = %s, want monotone integer (prev %d)", line, cols[2], lastBricked)
+		}
+		lastBricked = bricked
+	}
+	if lastBricked != res.Total.Bricked {
+		t.Errorf("final bricked column = %d, aggregate = %d", lastBricked, res.Total.Bricked)
+	}
+	if res.Total.Bricked == 0 {
+		t.Error("no devices bricked; the spec should produce some deaths for the series to show")
+	}
+
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		if _, other := run(workers); other != csv {
+			t.Errorf("metrics CSV differs between workers=1 and workers=%d:\n%s\nvs\n%s", workers, csv, other)
+		}
 	}
 }
 

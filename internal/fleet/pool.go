@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"flashwear/internal/telemetry"
 )
 
 // Run simulates the fleet described by spec and returns the merged
@@ -39,6 +42,15 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	for w := 0; w < workers; w++ {
 		acc := newAccumulator(spec)
 		accs[w] = acc
+		// Live per-worker progress counters: schedule-dependent by nature
+		// (which worker draws which device is a race), so they go to the
+		// caller's monitoring registry, never into the deterministic Result.
+		var doneCtr, brickCtr *telemetry.Counter
+		if spec.Telemetry != nil {
+			worker := strconv.Itoa(w)
+			doneCtr = spec.Telemetry.Counter(telemetry.Name("fleet.devices_done", "worker", worker))
+			brickCtr = spec.Telemetry.Counter(telemetry.Name("fleet.bricks", "worker", worker))
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -56,6 +68,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					return
 				}
 				acc.add(res)
+				if doneCtr != nil {
+					doneCtr.Inc()
+					if res.Bricked {
+						brickCtr.Inc()
+					}
+				}
 				if spec.Progress != nil {
 					spec.Progress(int(done.Add(1)), spec.Devices)
 				}

@@ -11,6 +11,7 @@ import (
 	"flashwear/internal/fs/extfs"
 	"flashwear/internal/ftl"
 	"flashwear/internal/simclock"
+	"flashwear/internal/telemetry"
 	"flashwear/internal/workload"
 )
 
@@ -35,6 +36,10 @@ type DeviceResult struct {
 	WearLevel int
 	// WA is the device's cumulative write amplification.
 	WA float64
+
+	// metrics is the device's padded telemetry row set (nil unless
+	// Spec.MetricsEvery is set); see metrics.go.
+	metrics [][]int64
 }
 
 // pacer wraps a StepFunc to hold its long-run average to a target rate:
@@ -82,6 +87,27 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 	if err != nil {
 		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
 	}
+
+	// Telemetry attaches at device birth — before mkfs, so the file-system
+	// fill is part of the trajectory — and samples at the scaled cadence:
+	// full-scale MetricsEvery divides by the effective scale exactly as the
+	// horizon does, so row k is the device at full-scale age (k+1)*Every.
+	var coll *metricCollector
+	var sampler *telemetry.Sampler
+	if spec.MetricsEvery > 0 {
+		scaledEvery := spec.MetricsEvery / time.Duration(eff)
+		if scaledEvery <= 0 {
+			return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): MetricsEvery %v vanishes at scale %d",
+				p.Index, prof.Name, spec.MetricsEvery, eff)
+		}
+		reg := telemetry.NewRegistry()
+		dev.Instrument(reg)
+		coll = newMetricCollector(reg, eff)
+		sampler = telemetry.NewSampler(reg, clock, scaledEvery)
+		sampler.Collect = false
+		sampler.OnSample = coll.observe
+	}
+
 	if err := extfs.Mkfs(dev); err != nil {
 		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): mkfs: %w", p.Index, prof.Name, err)
 	}
@@ -129,6 +155,11 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 		return DeviceResult{}, err
 	}
 	rep := runner.Report()
+	var metricRows [][]int64
+	if coll != nil {
+		sampler.Stop()
+		metricRows = coll.finish(metricRowCount(spec), clock.Now())
+	}
 	return DeviceResult{
 		Index:       p.Index,
 		ProfileName: prof.Name,
@@ -138,5 +169,6 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 		HostBytes:   dev.BytesWritten() * eff,
 		WearLevel:   dev.FTL().WearIndicator(ftl.PoolB),
 		WA:          rep.FinalWA,
+		metrics:     metricRows,
 	}, nil
 }

@@ -3,8 +3,10 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"flashwear/internal/device"
+	"flashwear/internal/telemetry"
 )
 
 // Class is the workload class a simulated phone's app population falls
@@ -82,6 +84,18 @@ type Spec struct {
 	// (done, total). It is called concurrently from worker goroutines and
 	// must be safe for concurrent use.
 	Progress func(done, total int)
+	// MetricsEvery, when positive, samples every device's telemetry
+	// registry at this full-scale cadence (e.g. 24h for a daily series)
+	// and merges the samples into Result.Metrics. The merged series is a
+	// pure function of the Spec — byte-identical across worker counts —
+	// because every per-device sample is converted to full-scale integer
+	// (or fixed-point) sums before aggregation. See DESIGN.md §7.
+	MetricsEvery time.Duration
+	// Telemetry, if non-nil, receives live per-worker progress counters
+	// (fleet.devices_done{worker=N}, fleet.bricks{worker=N}). Unlike
+	// Result.Metrics these depend on the schedule; they exist for
+	// monitoring a run, not for reproducible output.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultProfileMix is a phone-population mix over the calibrated
@@ -150,6 +164,12 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("fleet: empty profile mix")
 	case len(s.Classes) == 0:
 		return fmt.Errorf("fleet: empty class mix")
+	case s.MetricsEvery < 0:
+		return fmt.Errorf("fleet: MetricsEvery = %v", s.MetricsEvery)
+	case s.MetricsEvery > 0 && s.MetricsEvery < time.Duration(s.Scale):
+		// The per-device cadence is MetricsEvery divided by the capacity
+		// scale; anything finer than a nanosecond cannot be scheduled.
+		return fmt.Errorf("fleet: MetricsEvery %v too fine for scale %d", s.MetricsEvery, s.Scale)
 	}
 	if err := weightsValid("profile", weightsOf(s.Profiles)); err != nil {
 		return err

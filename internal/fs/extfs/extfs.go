@@ -40,7 +40,9 @@ type FS struct {
 
 	lazySyncs            int
 	statJournalCommits   int64
+	statJournalBlocks    int64
 	statCheckpointWrites int64
+	statDataBlocks       int64
 	statReplayedTxns     int
 }
 
@@ -48,7 +50,9 @@ type FS struct {
 // experiments.
 type Stats struct {
 	JournalCommits   int64
+	JournalBlocks    int64 // journal-region block writes (desc + bodies + commit)
 	CheckpointWrites int64
+	DataBlocks       int64 // file-content block writes
 	ReplayedTxns     int
 	FreeBlocks       int64
 }
@@ -164,7 +168,9 @@ func (v *FS) Name() string { return "extfs" }
 func (v *FS) Stats() Stats {
 	return Stats{
 		JournalCommits:   v.statJournalCommits,
+		JournalBlocks:    v.statJournalBlocks,
 		CheckpointWrites: v.statCheckpointWrites,
+		DataBlocks:       v.statDataBlocks,
 		ReplayedTxns:     v.statReplayedTxns,
 		FreeBlocks:       v.freeBlocks,
 	}

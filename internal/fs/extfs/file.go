@@ -162,6 +162,7 @@ func (v *FS) ptrAtData(blk uint32, idx int64, alloc bool, in *inode) (uint32, er
 // data-accounting mount option. Ordered mode: data goes straight to its
 // home location.
 func (v *FS) writeData(blk uint32, data []byte, blkOff int) error {
+	v.statDataBlocks++
 	off := int64(blk)*BlockSize + int64(blkOff)
 	if v.opts.DataAccounting {
 		return v.dev.WriteAccounted(alignDown(off), alignUp(int64(len(data))+off-alignDown(off)))

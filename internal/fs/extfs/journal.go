@@ -130,6 +130,7 @@ func (v *FS) commit() error {
 	v.jHead++
 	v.jSeq++
 	v.statJournalCommits++
+	v.statJournalBlocks += int64(len(homes)) + 2 // descriptor + bodies + commit
 	if err := v.dev.Flush(); err != nil {
 		return err
 	}

@@ -1,0 +1,24 @@
+package extfs
+
+import "flashwear/internal/telemetry"
+
+// Instrument registers the volume's journaling counters with reg under
+// "fs.*{fs=extfs}". The metadata-amplification gauge is journal plus
+// checkpoint block writes per file-content block write — the FS-level
+// contribution to the device's write amplification (§4.3's "advanced
+// factors"). Pure observers only; see DESIGN.md §7.
+func (v *FS) Instrument(reg *telemetry.Registry) {
+	n := func(base string) string { return telemetry.Name("fs."+base, "fs", "extfs") }
+	reg.CounterFunc(n("journal_commits"), func() int64 { return v.statJournalCommits })
+	reg.CounterFunc(n("journal_blocks"), func() int64 { return v.statJournalBlocks })
+	reg.CounterFunc(n("checkpoint_blocks"), func() int64 { return v.statCheckpointWrites })
+	reg.CounterFunc(n("data_blocks"), func() int64 { return v.statDataBlocks })
+	reg.CounterFunc(n("replayed_txns"), func() int64 { return int64(v.statReplayedTxns) })
+	reg.GaugeFunc(n("free_blocks"), func() float64 { return float64(v.freeBlocks) })
+	reg.GaugeFunc(n("metadata_amp"), func() float64 {
+		if v.statDataBlocks == 0 {
+			return 0
+		}
+		return float64(v.statJournalBlocks+v.statCheckpointWrites) / float64(v.statDataBlocks)
+	})
+}

@@ -43,6 +43,7 @@ type FS struct {
 	fsyncsSinceCP int
 
 	statNodeWrites    int64
+	statDataWrites    int64
 	statCheckpoints   int64
 	statCleanedSegs   int64
 	statRolledForward int64
@@ -51,6 +52,7 @@ type FS struct {
 // Stats reports FS-internal activity.
 type Stats struct {
 	NodeWrites      int64
+	DataWrites      int64 // file-content block writes through the data log
 	Checkpoints     int64
 	CleanedSegments int64
 	RolledForward   int64
@@ -177,6 +179,7 @@ func (v *FS) Name() string { return "f2fs" }
 func (v *FS) Stats() Stats {
 	return Stats{
 		NodeWrites:      v.statNodeWrites,
+		DataWrites:      v.statDataWrites,
 		Checkpoints:     v.statCheckpoints,
 		CleanedSegments: v.statCleanedSegs,
 		RolledForward:   v.statRolledForward,

@@ -154,6 +154,7 @@ func (v *FS) writeNodeData(in *node, p []byte, off int64) (int, error) {
 				return n, err
 			}
 		}
+		v.statDataWrites++
 		if oldAddr != 0 {
 			v.invalidateBlock(oldAddr)
 		}

@@ -1,0 +1,23 @@
+package f2fs
+
+import "flashwear/internal/telemetry"
+
+// Instrument registers the volume's log-structured counters with reg under
+// "fs.*{fs=f2fs}". The metadata-amplification gauge is node-block writes
+// per data-block write — the log-structured analogue of extfs's journal
+// overhead. Pure observers only; see DESIGN.md §7.
+func (v *FS) Instrument(reg *telemetry.Registry) {
+	n := func(base string) string { return telemetry.Name("fs."+base, "fs", "f2fs") }
+	reg.CounterFunc(n("node_writes"), func() int64 { return v.statNodeWrites })
+	reg.CounterFunc(n("data_blocks"), func() int64 { return v.statDataWrites })
+	reg.CounterFunc(n("checkpoints"), func() int64 { return v.statCheckpoints })
+	reg.CounterFunc(n("cleaned_segments"), func() int64 { return v.statCleanedSegs })
+	reg.CounterFunc(n("rolled_forward"), func() int64 { return v.statRolledForward })
+	reg.GaugeFunc(n("free_segments"), func() float64 { return float64(v.freeSegs) })
+	reg.GaugeFunc(n("metadata_amp"), func() float64 {
+		if v.statDataWrites == 0 {
+			return 0
+		}
+		return float64(v.statNodeWrites) / float64(v.statDataWrites)
+	})
+}

@@ -60,6 +60,8 @@ type gcPool struct {
 	remap func(lp int32, l loc)
 	// onMigrate reports each GC page copy so the owner can account it.
 	gcCopies int64
+	// collects counts GC invocations (collect calls that did work).
+	collects int64
 }
 
 func newGCPool(id PoolID, chip *nand.Chip, cfg *Config, remap func(int32, loc)) *gcPool {
@@ -265,6 +267,7 @@ func (p *gcPool) collect(cost *Cost) error {
 		return nil
 	}
 	p.collecting = true
+	p.collects++
 	defer func() { p.collecting = false }()
 	for len(p.free) < p.highWater {
 		v := p.victim()

@@ -250,6 +250,29 @@ func (c *Chip) MaxWear() float64 {
 	return max
 }
 
+// MinWear returns the minimum relative wear across non-bad blocks, or 0 if
+// none remain. MaxWear-MinWear is the spread wear-leveling tries to bound.
+func (c *Chip) MinWear() float64 {
+	min := math.Inf(1)
+	for i := range c.blocks {
+		if c.blocks[i].bad {
+			continue
+		}
+		if w := c.Wear(i); w < min {
+			min = w
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// ExpectedRBER returns the expected raw bit error rate for freshly written
+// data at the chip's current average wear — the population-level error
+// trajectory telemetry samples over a device's life.
+func (c *Chip) ExpectedRBER() float64 { return c.emodel.RBER(c.AvgWear()) }
+
 // ExpectedCodewordErrors returns the expected raw bit errors per ECC
 // codeword for freshly written data in a block at its current wear.
 func (c *Chip) ExpectedCodewordErrors(blockIdx int) float64 {

@@ -1,0 +1,22 @@
+package nand
+
+import "flashwear/internal/telemetry"
+
+// Instrument registers the chip's activity counters and wear gauges with
+// reg under "nand.*{chip=<chip>}". All instruments are pull-based pure
+// observers of chip state — registering them changes nothing about how the
+// chip behaves (DESIGN.md §7).
+func (c *Chip) Instrument(reg *telemetry.Registry, chip string) {
+	n := func(base string) string { return telemetry.Name("nand."+base, "chip", chip) }
+	reg.CounterFunc(n("programs"), func() int64 { return c.stats.Programs })
+	reg.CounterFunc(n("reads"), func() int64 { return c.stats.Reads })
+	reg.CounterFunc(n("erases"), func() int64 { return c.stats.Erases })
+	reg.CounterFunc(n("program_fails"), func() int64 { return c.stats.ProgramFails })
+	reg.CounterFunc(n("erase_fails"), func() int64 { return c.stats.EraseFails })
+	reg.CounterFunc(n("uncorrectable_reads"), func() int64 { return c.stats.UncorrectableReads })
+	reg.CounterFunc(n("bytes_programmed"), func() int64 { return c.stats.BytesProgrammed })
+	reg.CounterFunc(n("bad_blocks"), func() int64 { return int64(c.stats.BadBlocks) })
+	reg.GaugeFunc(n("avg_wear"), c.AvgWear)
+	reg.GaugeFunc(n("max_wear"), c.MaxWear)
+	reg.GaugeFunc(n("raw_ber"), c.ExpectedRBER)
+}

@@ -83,11 +83,13 @@ func (h *Histogram) Merge(o *Histogram) error {
 // Percentile returns the value below which fraction p (in [0, 1]) of the
 // observations fall, linearly interpolated within its bucket. Underflow
 // reports Min and overflow reports Max (the histogram does not retain exact
-// out-of-range values). An empty histogram returns NaN.
+// out-of-range values). An empty histogram returns 0: percentiles feed
+// summary tables and telemetry columns, where a NaN would poison CSV diffs
+// and JSON encoding without carrying any more information.
 func (h *Histogram) Percentile(p float64) float64 {
 	total := h.Total()
 	if total == 0 {
-		return math.NaN()
+		return 0
 	}
 	if p < 0 {
 		p = 0

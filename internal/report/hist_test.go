@@ -89,11 +89,40 @@ func TestHistogramPercentile(t *testing.T) {
 
 func TestHistogramPercentileEmpty(t *testing.T) {
 	h := NewHistogram(0, 1, 4)
-	if got := h.Percentile(0.5); !math.IsNaN(got) {
-		t.Errorf("Percentile on empty = %g, want NaN", got)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%g) on empty = %g, want 0", p, got)
+		}
 	}
+	// Mean keeps its NaN contract: callers that want a plottable value
+	// guard on Total() themselves (telemetry does).
 	if got := h.Mean(); !math.IsNaN(got) {
 		t.Errorf("Mean on empty = %g, want NaN", got)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	// Merging empty shards — a fleet worker that drew no devices — must
+	// be a no-op in both directions and keep percentiles well-defined.
+	empty, other := NewHistogram(0, 10, 10), NewHistogram(0, 10, 10)
+	other.Add(3)
+	other.Add(7)
+	want := *other
+	wantCounts := append([]int64(nil), other.Counts...)
+	if err := other.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if other.Under != want.Under || other.Over != want.Over || !reflect.DeepEqual(other.Counts, wantCounts) {
+		t.Errorf("merge of empty changed counts: %+v", other)
+	}
+	if err := empty.Merge(NewHistogram(0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Total(); got != 0 {
+		t.Errorf("empty+empty Total = %d, want 0", got)
+	}
+	if got := empty.Percentile(0.5); got != 0 {
+		t.Errorf("empty+empty Percentile(0.5) = %g, want 0", got)
 	}
 }
 

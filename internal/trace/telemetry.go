@@ -1,0 +1,17 @@
+package trace
+
+import "flashwear/internal/telemetry"
+
+// Instrument registers the recorder's per-op counters with reg under
+// "trace.ops{op=...}" and "trace.bytes{op=...}". Pure observers only; see
+// DESIGN.md §7.
+func (r *Recorder) Instrument(reg *telemetry.Registry) {
+	op := func(base, kind string) string { return telemetry.Name("trace."+base, "op", kind) }
+	reg.CounterFunc(op("ops", "write"), func() int64 { return r.stats.Writes })
+	reg.CounterFunc(op("ops", "read"), func() int64 { return r.stats.Reads })
+	reg.CounterFunc(op("ops", "discard"), func() int64 { return r.stats.Discards })
+	reg.CounterFunc(op("ops", "flush"), func() int64 { return r.stats.Flushes })
+	reg.CounterFunc(op("bytes", "write"), func() int64 { return r.stats.BytesWritten })
+	reg.CounterFunc(op("bytes", "read"), func() int64 { return r.stats.BytesRead })
+	reg.CounterFunc(op("bytes", "discard"), func() int64 { return r.stats.BytesDiscarded })
+}

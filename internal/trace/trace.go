@@ -52,12 +52,29 @@ type Event struct {
 	Len int64
 }
 
+// Stats summarises a recorded trace: request counts and data volume by
+// operation kind (flushes carry no bytes).
+type Stats struct {
+	Writes   int64
+	Reads    int64
+	Discards int64
+	Flushes  int64
+
+	BytesWritten   int64
+	BytesRead      int64
+	BytesDiscarded int64
+}
+
+// Events returns the total number of recorded requests.
+func (s Stats) Events() int64 { return s.Writes + s.Reads + s.Discards + s.Flushes }
+
 // Recorder wraps a device and appends every request to an in-memory trace.
 type Recorder struct {
 	Inner blockdev.Device
 	clock *simclock.Clock
 
 	events []Event
+	stats  Stats
 }
 
 // NewRecorder wraps dev; the clock timestamps events.
@@ -68,8 +85,24 @@ func NewRecorder(dev blockdev.Device, clock *simclock.Clock) *Recorder {
 // Events returns the recorded trace.
 func (r *Recorder) Events() []Event { return r.events }
 
+// Stats returns a summary of the recorded trace so far.
+func (r *Recorder) Stats() Stats { return r.stats }
+
 func (r *Recorder) add(op Op, off, length int64) {
 	r.events = append(r.events, Event{At: r.clock.Now(), Op: op, Off: off, Len: length})
+	switch op {
+	case OpWrite:
+		r.stats.Writes++
+		r.stats.BytesWritten += length
+	case OpRead:
+		r.stats.Reads++
+		r.stats.BytesRead += length
+	case OpDiscard:
+		r.stats.Discards++
+		r.stats.BytesDiscarded += length
+	case OpFlush:
+		r.stats.Flushes++
+	}
 }
 
 // ReadAt implements blockdev.Device.

@@ -69,6 +69,77 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+// recordAllOps drives every op kind through a Recorder over a plain memory
+// device and returns it.
+func recordAllOps(t *testing.T) *Recorder {
+	t.Helper()
+	mem, err := blockdev.NewMem(1<<20, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(mem, simclock.New())
+	buf := make([]byte, 4096)
+	if err := rec.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteAccounted(8192, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ReadAt(buf[:2048], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Discard(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSerializationRoundTripAllOps(t *testing.T) {
+	events := recordAllOps(t).Events()
+	kinds := map[Op]bool{}
+	for _, e := range events {
+		kinds[e.Op] = true
+	}
+	for _, op := range []Op{OpWrite, OpRead, OpDiscard, OpFlush} {
+		if !kinds[op] {
+			t.Fatalf("trace is missing op %v", op)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	st := recordAllOps(t).Stats()
+	want := Stats{
+		Writes: 2, Reads: 1, Discards: 1, Flushes: 1,
+		BytesWritten: 8192, BytesRead: 2048, BytesDiscarded: 4096,
+	}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+	if st.Events() != 5 {
+		t.Fatalf("Events = %d, want 5", st.Events())
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrFormat) {
 		t.Fatalf("err = %v", err)
