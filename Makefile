@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench faults check
 
 all: build
 
@@ -19,10 +19,20 @@ test:
 race:
 	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
 
+# The fault matrix under -race: randomized power-cut/remount recovery,
+# program/erase-failure handling, graceful EOL, the faulty-flash crash
+# suites for both file systems, and the fleet's fault-plan/panic paths
+# (DESIGN.md §8).
+faults:
+	$(GO) test -race -count=1 \
+		-run 'TestRecover|TestProgramFailures|TestGraceful|TestBrickAtEOL|TestEOLSpare|TestQuickRemount|TestCrashConformanceOnFaultyFlash|TestFleetFaultPlan|TestFleetPanic|TestInjector' \
+		./internal/ftl/ ./internal/faultinject/ ./internal/fleet/ \
+		./internal/fs/extfs/ ./internal/fs/f2fs/
+
 # One pass over every benchmark (each regenerates a paper exhibit);
 # -benchtime=1x keeps it a smoke run. Drop the flag for real timings.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .
 
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet build test race
+check: vet build test race faults

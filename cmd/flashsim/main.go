@@ -7,9 +7,14 @@
 //
 //	flashsim -list
 //	flashsim -device "eMMC 16GB" [-scale N] [-req 4096] [-seq] [-gib 8] [-fill 0.5]
+//	flashsim -device "eMMC 16GB" -fault-plan "seed=7,read=1e-4,cut-every=100000"
+//
+// Exit codes: 0 on success, 1 on runtime error, 2 on usage error, 3 when
+// the device hard-bricked, 4 when it retired into read-only EOL mode.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +23,7 @@ import (
 
 	"flashwear/internal/blockdev"
 	"flashwear/internal/device"
+	"flashwear/internal/faultinject"
 	"flashwear/internal/ftl"
 	"flashwear/internal/report"
 	"flashwear/internal/simclock"
@@ -25,6 +31,22 @@ import (
 	"flashwear/internal/trace"
 	"flashwear/internal/workload"
 )
+
+// Exit codes: the wear outcomes get their own so scripts can tell a clean
+// run from a device that died gracefully or bricked outright.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitBricked  = 3
+	exitReadOnly = 4
+)
+
+// fail prints err and exits with code.
+func fail(code int, err error) {
+	fmt.Fprintln(os.Stderr, "flashsim:", err)
+	os.Exit(code)
+}
 
 func main() {
 	list := flag.Bool("list", false, "list the calibrated device profiles")
@@ -38,6 +60,8 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded trace instead of generating a pattern")
 	metricsCSV := flag.String("metrics-csv", "", "sample telemetry and write the series here (\"-\" = stdout, .json for JSON)")
 	metricsEvery := flag.Duration("metrics-every", 10*time.Second, "simulated sampling cadence for -metrics-csv")
+	faultPlan := flag.String("fault-plan", "", "deterministic fault plan, e.g. \"seed=7,read=1e-4,program=1e-5,cut-every=100000\"")
+	powerCut := flag.Float64("power-cut", 0, "cut power once after this fraction of -gib, then power-cycle and continue")
 	flag.Parse()
 
 	if *list {
@@ -57,14 +81,23 @@ func main() {
 
 	prof, err := device.ProfileByName(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "flashsim:", err)
-		os.Exit(1)
+		fail(exitUsage, err)
+	}
+	scaled := prof.Scaled(*scale)
+	if *faultPlan != "" {
+		plan, err := faultinject.ParsePlan(*faultPlan)
+		if err != nil {
+			fail(exitUsage, fmt.Errorf("-fault-plan: %w", err))
+		}
+		scaled.Faults = &plan
+	}
+	if *powerCut < 0 || *powerCut >= 1 {
+		fail(exitUsage, fmt.Errorf("-power-cut %v: want a fraction in [0, 1)", *powerCut))
 	}
 	clock := simclock.New()
-	dev, err := device.New(prof.Scaled(*scale), clock)
+	dev, err := device.New(scaled, clock)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "flashsim:", err)
-		os.Exit(1)
+		fail(exitError, err)
 	}
 	// Telemetry attaches at device birth — before the pre-fill — so push
 	// and pull counters agree; the sampler runs on the simulated clock, so
@@ -77,8 +110,7 @@ func main() {
 
 	if *fill > 0 {
 		if _, err := workload.FillDevice(dev, *fill); err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim: fill:", err)
-			os.Exit(1)
+			fail(exitError, fmt.Errorf("fill: %w", err))
 		}
 	}
 
@@ -101,17 +133,16 @@ func main() {
 
 	start := clock.Now()
 	var written int64
+	var recoveries int
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim:", err)
-			os.Exit(1)
+			fail(exitError, err)
 		}
 		events, err := trace.Read(f)
 		_ = f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim:", err)
-			os.Exit(1)
+			fail(exitError, fmt.Errorf("replay: %w", err))
 		}
 		st, err := trace.Replay(target, clock, events, trace.ReplayOptions{})
 		if err != nil {
@@ -122,14 +153,32 @@ func main() {
 	} else {
 		w := workload.NewDeviceWriter(target, *req, *seq, 1)
 		total := int64(*gib * float64(1<<30))
+		cutAt := int64(-1)
+		if *powerCut > 0 {
+			cutAt = int64(*powerCut * float64(total))
+		}
 		for written < total {
+			if cutAt >= 0 && written >= cutAt {
+				cutAt = -1
+				dev.CutPower()
+			}
 			n, err := w.Step(4 << 20)
 			written += n
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "flashsim: device failed after %s: %v\n",
-					report.HumanBytes(written), err)
-				break
+			if err == nil {
+				continue
 			}
+			// Injected or -power-cut power loss: do what a phone does —
+			// power back on, remount (OOB-scan recovery), keep writing.
+			if errors.Is(err, device.ErrPowerLoss) {
+				if err := dev.PowerCycle(); err != nil {
+					fail(exitError, fmt.Errorf("power cycle: %w", err))
+				}
+				recoveries++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "flashsim: device failed after %s: %v\n",
+				report.HumanBytes(written), err)
+			break
 		}
 	}
 	elapsed := clock.Now() - start
@@ -138,24 +187,20 @@ func main() {
 		sampler.Stop()
 		sampler.Final()
 		if err := writeSeries(*metricsCSV, sampler.Series()); err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim: metrics:", err)
-			os.Exit(1)
+			fail(exitError, fmt.Errorf("metrics: %w", err))
 		}
 	}
 
 	if recorder != nil {
 		out, err := os.Create(*record)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim:", err)
-			os.Exit(1)
+			fail(exitError, err)
 		}
 		if err := trace.Write(out, recorder.Events()); err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim: trace:", err)
-			os.Exit(1)
+			fail(exitError, fmt.Errorf("trace: %w", err))
 		}
 		if err := out.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "flashsim:", err)
-			os.Exit(1)
+			fail(exitError, err)
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(recorder.Events()), *record)
 	}
@@ -175,8 +220,21 @@ func main() {
 		fmt.Printf("Life consumed (Type A): %.2f%%   indicator: %d   merged: %v\n",
 			f.LifeConsumed(ftl.PoolA)*100, dev.WearIndicator(ftl.PoolA), f.Merged())
 	}
-	if dev.Bricked() {
+	if inj := dev.Injector(); inj != nil {
+		st := inj.Stats()
+		fmt.Printf("Injected faults: %d read, %d program, %d erase, %d power cuts\n",
+			st.ReadFaults, st.ProgramFaults, st.EraseFaults, st.PowerCuts)
+	}
+	if recoveries > 0 {
+		fmt.Printf("Power-loss recoveries: %d (every acknowledged write survived or the run would have failed)\n", recoveries)
+	}
+	switch {
+	case dev.Bricked():
 		fmt.Println("DEVICE BRICKED")
+		os.Exit(exitBricked)
+	case dev.ReadOnly():
+		fmt.Println("DEVICE READ-ONLY (graceful EOL: data preserved, writes refused)")
+		os.Exit(exitReadOnly)
 	}
 }
 

@@ -9,6 +9,10 @@
 // Everything written to stdout is a pure function of the flags (worker
 // count and wall-clock time never appear there), so runs are byte-for-byte
 // reproducible; progress goes to stderr.
+//
+// Exit codes: 0 on success, 1 on runtime error, 2 on usage error, 3 when
+// any device simulation panicked (the panic is contained and the seeds are
+// reported for replay, but the run is incomplete).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"flashwear/internal/faultinject"
 	"flashwear/internal/fleet"
 	"flashwear/internal/report"
 )
@@ -37,12 +42,22 @@ func main() {
 	csvPath := flag.String("csv", "", "also write histogram CSV to this path (\"-\" = stdout)")
 	metricsCSV := flag.String("metrics-csv", "", "write the sampled population time series to this path (\"-\" = stdout)")
 	metricsEvery := flag.Duration("metrics-every", 24*time.Hour, "full-scale sampling cadence for -metrics-csv")
+	faultPlan := flag.String("fault-plan", "", "per-device hardware fault plan (re-seeded per device), e.g. \"seed=7,read=1e-4,cut-every=100000\"")
 	quiet := flag.Bool("quiet", false, "suppress progress output on stderr")
 	flag.Parse()
 
 	if *buggy < 0 || *attack < 0 || *buggy+*attack > 1 {
 		fmt.Fprintln(os.Stderr, "fleetsim: -buggy and -attack must be non-negative and sum to at most 1")
 		os.Exit(2)
+	}
+	var plan *faultinject.Plan
+	if *faultPlan != "" {
+		p, err := faultinject.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", fmt.Errorf("-fault-plan: %w", err))
+			os.Exit(2)
+		}
+		plan = &p
 	}
 	spec := fleet.Spec{
 		Devices:  *devices,
@@ -51,6 +66,7 @@ func main() {
 		Days:     *days,
 		Scale:    *scale,
 		ReqBytes: *req,
+		Faults:   plan,
 		Classes: []fleet.ClassWeight{
 			{Class: fleet.ClassBenign, Weight: 1 - *buggy - *attack},
 			{Class: fleet.ClassBuggy, Weight: *buggy},
@@ -97,6 +113,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if res.Failed > 0 {
+		os.Exit(3)
+	}
 }
 
 // writeTo writes via fn to path, or stdout for "-".
@@ -126,6 +145,11 @@ func render(w *os.File, res *fleet.Result) {
 		fmt.Fprintf(w, ", mean time-to-brick %.1f days", t.MeanDaysToBrick())
 	}
 	fmt.Fprintf(w, "\nhost data absorbed: %s\n\n", report.HumanBytes(t.HostMiB<<20))
+
+	if res.Failed > 0 {
+		fmt.Fprintf(w, "FAILED: %d device simulation(s) panicked (contained; results exclude them)\n", res.Failed)
+		fmt.Fprintf(w, "reproduce with device seeds: %v\n\n", res.FailedSeeds)
+	}
 
 	if t.Bricked > 0 {
 		ps := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}

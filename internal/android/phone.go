@@ -135,10 +135,10 @@ func (p *Phone) ChargingAt(t time.Duration) bool { return p.cfg.Charging.Active(
 // ScreenOnAt reports the screen state at an arbitrary simulated time.
 func (p *Phone) ScreenOnAt(t time.Duration) bool { return p.cfg.Screen.Active(t) }
 
-// Bricked reports whether the phone's storage has failed; the paper equates
-// this with the phone being destroyed ("storage in mobile devices is not
-// user-serviceable").
-func (p *Phone) Bricked() bool { return p.dev.Bricked() }
+// Bricked reports whether the phone's storage has failed — hard-bricked or
+// retired read-only; the paper equates either with the phone being
+// destroyed ("storage in mobile devices is not user-serviceable").
+func (p *Phone) Bricked() bool { return p.dev.Failed() }
 
 // PowerMonitor exposes the battery-stats view.
 func (p *Phone) PowerMonitor() *PowerMonitor { return p.powerMon }

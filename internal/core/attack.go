@@ -192,5 +192,6 @@ var errDeadline = errors.New("core: simulation deadline reached")
 // no-space once the FTL loses too many blocks.
 func isStorageDeath(err error) bool {
 	return errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked) ||
+		errors.Is(err, device.ErrReadOnly) || errors.Is(err, ftl.ErrReadOnly) ||
 		errors.Is(err, ftl.ErrUnreadable) || errors.Is(err, fs.ErrNoSpace)
 }

@@ -192,11 +192,13 @@ func (r *Runner) RunPhase(step StepFunc, maxHostBytes int64, stop func() bool) e
 		phaseBytes += n
 		r.poll()
 		if err != nil {
-			// A device that can no longer accept writes — or that throws
+			// A device that can no longer accept writes — whether hard
+			// bricked or retired into read-only EOL mode — or that throws
 			// uncorrectable read errors on the host path — is finished:
 			// §4.3's indicator level 11 is defined as "may introduce
 			// uncorrectable errors ... considered unreliable".
 			if errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked) ||
+				errors.Is(err, device.ErrReadOnly) || errors.Is(err, ftl.ErrReadOnly) ||
 				errors.Is(err, ftl.ErrUnreadable) {
 				r.report.Bricked = true
 				return nil
@@ -222,6 +224,6 @@ func (r *Runner) Report() RunReport {
 	r.report.TotalHostGiB = r.gib(r.hostBytes)
 	r.report.TotalHours = r.hours(r.Clock.Now() - r.startTime)
 	r.report.FinalWA = r.Dev.FTL().WriteAmplification()
-	r.report.Bricked = r.report.Bricked || r.Dev.Bricked()
+	r.report.Bricked = r.report.Bricked || r.Dev.Failed()
 	return r.report
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flashwear/internal/blockdev"
+	"flashwear/internal/faultinject"
 	"flashwear/internal/ftl"
 	"flashwear/internal/nand"
 	"flashwear/internal/simclock"
@@ -14,6 +15,14 @@ import (
 
 // ErrBricked is returned once the device has failed permanently.
 var ErrBricked = errors.New("device: bricked")
+
+// ErrReadOnly is returned for writes once the device has retired into
+// JEDEC-style read-only end-of-life mode; reads still succeed.
+var ErrReadOnly = errors.New("device: read-only (end of life)")
+
+// ErrPowerLoss is returned after a simulated power cut until PowerCycle
+// remounts the device.
+var ErrPowerLoss = errors.New("device: power lost")
 
 // Device is a complete simulated storage device: FTL + chips + controller
 // timing. It implements blockdev.Device and advances the simulated clock by
@@ -24,6 +33,7 @@ type Device struct {
 	f     *ftl.FTL
 	clock *simclock.Clock
 	rng   *rand.Rand
+	inj   *faultinject.Injector // nil unless the profile carries a fault plan
 
 	pageSize int
 	sector   int
@@ -60,10 +70,18 @@ func New(prof Profile, clock *simclock.Clock) (*Device, error) {
 		em.HealPerIdleHour = prof.HealPerIdleHour
 		mainCfg.Errors = &em
 	}
+	// One injector spans every chip in the package: the op counter and
+	// the power rail are per-device, not per-die.
+	var inj *faultinject.Injector
+	if prof.Faults != nil && !prof.Faults.Empty() {
+		inj = faultinject.New(*prof.Faults, now)
+		mainCfg.Inject = inj
+	}
 	fcfg := ftl.Config{
 		MainChip:        mainCfg,
 		OverProvision:   prof.OverProvision,
 		FirmwareRatedPE: prof.FirmwareRatedPE,
+		BrickAtEOL:      prof.BrickAtEOL,
 	}
 	if !prof.WearLeveling {
 		fcfg.Wear = &ftl.WearLeveling{Dynamic: false, Static: false, StaticThreshold: 1 << 30, StaticInterval: 1 << 30}
@@ -84,6 +102,9 @@ func New(prof Profile, clock *simclock.Clock) (*Device, error) {
 			DrainRatio:       h.DrainRatio,
 			MergeUtilisation: h.MergeUtilisation,
 		}
+		if inj != nil {
+			fcfg.Hybrid.CacheChip.Inject = inj
+		}
 	}
 	f, err := ftl.New(fcfg)
 	if err != nil {
@@ -94,6 +115,7 @@ func New(prof Profile, clock *simclock.Clock) (*Device, error) {
 		f:        f,
 		clock:    clock,
 		rng:      rand.New(rand.NewSource(prof.Seed + 7)),
+		inj:      inj,
 		pageSize: f.PageSize(),
 		sector:   512,
 		auAppend: make(map[int64]int64),
@@ -130,6 +152,59 @@ func (d *Device) SectorSize() int { return d.sector }
 
 // Bricked reports whether the device has failed permanently.
 func (d *Device) Bricked() bool { return d.f.Bricked() }
+
+// ReadOnly reports whether the device has retired into read-only EOL mode.
+func (d *Device) ReadOnly() bool { return d.f.ReadOnly() }
+
+// Failed reports whether the device can no longer accept writes, whether
+// by graceful read-only retirement or a hard brick.
+func (d *Device) Failed() bool { return d.f.Failed() }
+
+// PowerLost reports whether the device is sitting unpowered after a cut.
+func (d *Device) PowerLost() bool { return d.f.PowerLost() }
+
+// Injector exposes the fault injector, or nil when no plan is attached.
+func (d *Device) Injector() *faultinject.Injector { return d.inj }
+
+// CutPower drops the device's power between operations: any fault plan's
+// injector latches down, and every volatile FTL structure is garbage until
+// PowerCycle. Works with or without a fault plan.
+func (d *Device) CutPower() {
+	if d.inj != nil {
+		d.inj.CutNow()
+	}
+	d.f.CutPower()
+}
+
+// PowerCycle restores power and remounts: the FTL rebuilds its mapping
+// from per-page OOB metadata, and controller-volatile state (the MicroSD
+// append trackers) resets. The recovery scan's flash reads advance the
+// simulated clock like any other work.
+func (d *Device) PowerCycle() error {
+	if d.inj != nil {
+		d.inj.PowerRestored()
+	}
+	cost, err := d.f.Recover()
+	d.advance(cost, 0)
+	d.auAppend = make(map[int64]int64)
+	return err
+}
+
+// mapErr translates FTL failure modes into the device-level errors,
+// keeping the cause wrapped so errors.Is finds both layers.
+func (d *Device) mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ftl.ErrBricked):
+		return fmt.Errorf("%w: %s: %w", ErrBricked, d.prof.Name, err)
+	case errors.Is(err, ftl.ErrReadOnly):
+		return fmt.Errorf("%w: %s: %w", ErrReadOnly, d.prof.Name, err)
+	case errors.Is(err, ftl.ErrPowerLoss):
+		return fmt.Errorf("%w: %s: %w", ErrPowerLoss, d.prof.Name, err)
+	}
+	return err
+}
 
 // BytesWritten returns total host bytes written to the device.
 func (d *Device) BytesWritten() int64 { return d.bytesWritten }
@@ -208,7 +283,7 @@ func (d *Device) ReadAt(p []byte, off int64) error {
 		total.Add(cost)
 		if err != nil {
 			d.advance(total, 0)
-			return err
+			return d.mapErr(err)
 		}
 		pageStart := pg * int64(d.pageSize)
 		from := max64(off, pageStart)
@@ -242,8 +317,11 @@ func (d *Device) write(off, length int64, payload []byte) error {
 	if length == 0 {
 		return nil
 	}
-	if d.f.Bricked() {
+	switch {
+	case d.f.Bricked():
 		return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
+	case d.f.ReadOnly():
+		return fmt.Errorf("%w: %s", ErrReadOnly, d.prof.Name)
 	}
 	var total ftl.Cost
 	// Block-mapped MicroSD penalty: a write that is not appending within
@@ -269,7 +347,7 @@ func (d *Device) write(off, length int64, payload []byte) error {
 			total.Add(cost)
 			if err != nil {
 				d.advance(total, 0)
-				return err
+				return d.mapErr(err)
 			}
 			if payload != nil {
 				data = make([]byte, d.pageSize)
@@ -285,10 +363,7 @@ func (d *Device) write(off, length int64, payload []byte) error {
 		total.Add(cost)
 		if err != nil {
 			d.advance(total, 0)
-			if errors.Is(err, ftl.ErrBricked) {
-				return fmt.Errorf("%w: %s: %v", ErrBricked, d.prof.Name, err)
-			}
-			return err
+			return d.mapErr(err)
 		}
 	}
 	d.bytesWritten += length
@@ -334,7 +409,8 @@ func (d *Device) Discard(off, length int64) error {
 		cost, err := d.f.TrimPage(int(pg))
 		total.Add(cost)
 		if err != nil {
-			return err
+			d.advance(total, 0)
+			return d.mapErr(err)
 		}
 	}
 	d.advance(total, 0)
@@ -348,26 +424,14 @@ func (d *Device) Sanitize() error {
 	cost, err := d.f.Sanitize()
 	d.advance(cost, 0)
 	d.auAppend = make(map[int64]int64)
-	if err != nil {
-		if errors.Is(err, ftl.ErrBricked) {
-			return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
-		}
-		return err
-	}
-	return nil
+	return d.mapErr(err)
 }
 
 // Flush implements blockdev.Device.
 func (d *Device) Flush() error {
 	cost, err := d.f.Flush()
 	d.advance(cost, 0)
-	if err != nil {
-		if errors.Is(err, ftl.ErrBricked) {
-			return fmt.Errorf("%w: %s", ErrBricked, d.prof.Name)
-		}
-		return err
-	}
-	return nil
+	return d.mapErr(err)
 }
 
 func max64(a, b int64) int64 {

@@ -229,6 +229,7 @@ func TestEMMCRandomSimilarToSequential(t *testing.T) {
 func TestDeviceWearsToBrick(t *testing.T) {
 	p := testProfile()
 	p.RatedPE = 40
+	p.BrickAtEOL = true // pin the legacy hard-brick path (BLU behaviour)
 	d := newTestDevice(t, p)
 	rng := rand.New(rand.NewSource(3))
 	var err error

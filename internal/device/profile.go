@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"flashwear/internal/faultinject"
 	"flashwear/internal/nand"
 )
 
@@ -95,6 +96,15 @@ type Profile struct {
 	// "did not provide reliable wear-out indications": the life-time
 	// registers read as garbage even while the device wears normally.
 	UnreliableIndicator bool
+
+	// BrickAtEOL makes endurance exhaustion a hard brick (the paper's BLU
+	// phones) instead of the default JEDEC-style read-only retirement.
+	BrickAtEOL bool
+
+	// Faults, when non-nil and non-empty, attaches a deterministic fault
+	// injector (transient read errors, program/erase failures, power
+	// cuts) to the device's chips. Nil costs the hot path nothing.
+	Faults *faultinject.Plan
 
 	// Seed makes the device deterministic.
 	Seed int64

@@ -139,6 +139,7 @@ func ProfileBLU512() Profile {
 		InterfaceMBps:       50,
 		ProgramTime:         900 * time.Microsecond,
 		UnreliableIndicator: true,
+		BrickAtEOL:          true,
 		Seed:                106,
 	}
 }
@@ -156,6 +157,7 @@ func ProfileBLU4() Profile {
 		InterfaceMBps:       80,
 		ProgramTime:         1600 * time.Microsecond,
 		UnreliableIndicator: true,
+		BrickAtEOL:          true,
 		Seed:                107,
 	}
 }

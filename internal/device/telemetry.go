@@ -31,6 +31,21 @@ func (d *Device) Instrument(reg *telemetry.Registry) {
 		}
 		return 0
 	})
+	reg.GaugeFunc("device.read_only", func() float64 {
+		if d.f.ReadOnly() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("device.failed", func() float64 {
+		if d.f.Failed() {
+			return 1
+		}
+		return 0
+	})
+	if d.inj != nil {
+		d.inj.Instrument(reg)
+	}
 	reg.GaugeFunc(telemetry.Name("device.wear_level", "pool", "a"), func() float64 {
 		return float64(d.f.WearIndicator(ftl.PoolA))
 	})

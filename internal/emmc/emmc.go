@@ -40,6 +40,7 @@ const (
 	StatusReadyForData   = 1 << 8
 	StatusErrorBit       = 1 << 19 // general/unknown error
 	StatusIllegalCommand = 1 << 22
+	StatusWPViolation    = 1 << 26 // write to a write-protected region
 	StatusAddressError   = 1 << 30
 
 	statusStateShift = 9
@@ -243,6 +244,11 @@ func (c *Controller) SendData(cmd uint8, arg uint32, data []byte) (Response, err
 	}
 	off := int64(arg) * 512
 	if err := c.dev.WriteAt(data, off); err != nil {
+		if errors.Is(err, device.ErrReadOnly) {
+			// JEDEC EOL: the part reports the write as a WP violation —
+			// the whole device is now permanently write-protected.
+			return Response{R1: c.r1(StatusWPViolation)}, fmt.Errorf("emmc: %w", err)
+		}
 		return Response{R1: c.r1(StatusErrorBit | StatusAddressError)}, fmt.Errorf("%w: %v", ErrAddress, err)
 	}
 	c.stats.BytesWritten += int64(len(data))

@@ -125,7 +125,8 @@ func runMitigation(policy MitigationPolicy, cfg Config) (MitigationRow, error) {
 		written += n
 		watch.Sample(clock.Now())
 		if err != nil {
-			if errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked) {
+			if errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked) ||
+				errors.Is(err, device.ErrReadOnly) || errors.Is(err, ftl.ErrReadOnly) {
 				break
 			}
 			return MitigationRow{}, err

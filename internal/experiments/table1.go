@@ -102,7 +102,7 @@ func Table1(cfg Config) (core.RunReport, error) {
 		if err := runner.RunPhase(w.Step, 0, runner.UntilLevel(ftl.PoolB, ph.untilB)); err != nil {
 			return core.RunReport{}, fmt.Errorf("table1 phase %d: %w", i+1, err)
 		}
-		if dev.Bricked() {
+		if dev.Failed() {
 			break
 		}
 	}

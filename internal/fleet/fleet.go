@@ -103,6 +103,15 @@ type Accumulator struct {
 	// Spec.MetricsEvery (nil when sampling is disabled).
 	Metrics *MetricsSeries
 
+	// Failed counts devices whose simulation panicked. The panic is
+	// contained in the worker: the device is recorded here instead of
+	// aborting the run, and it contributes to no other statistic.
+	Failed int64
+	// FailedSeeds are the per-device seeds of the failed simulations,
+	// sorted ascending, so each failure can be reproduced in isolation
+	// (seed a single-device Spec with it).
+	FailedSeeds []int64
+
 	ByProfile map[string]*Group
 	ByClass   map[string]*Group
 }
@@ -147,8 +156,16 @@ func (a *Accumulator) add(r DeviceResult) {
 	}
 }
 
+// noteFailed records a device whose simulation panicked.
+func (a *Accumulator) noteFailed(seed int64) {
+	a.Failed++
+	a.FailedSeeds = append(a.FailedSeeds, seed)
+}
+
 func (a *Accumulator) merge(o *Accumulator) error {
 	a.Total.merge(&o.Total)
+	a.Failed += o.Failed
+	a.FailedSeeds = append(a.FailedSeeds, o.FailedSeeds...)
 	for _, pair := range []struct{ dst, src *report.Histogram }{
 		{a.TimeToBrick, o.TimeToBrick},
 		{a.DeathGiB, o.DeathGiB},

@@ -5,6 +5,7 @@ import (
 	"context"
 	"reflect"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"flashwear/internal/device"
+	"flashwear/internal/faultinject"
 )
 
 // testSpec is a small fleet that still exercises every workload class and
@@ -169,6 +171,81 @@ func TestFleetMetricsDeterminism(t *testing.T) {
 		if _, other := run(workers); other != csv {
 			t.Errorf("metrics CSV differs between workers=1 and workers=%d:\n%s\nvs\n%s", workers, csv, other)
 		}
+	}
+}
+
+// TestFleetPanicContainment pins the worker containment contract: a
+// panicking per-device simulation is recorded as a failed device — with its
+// seed, so the failure can be reproduced in isolation — and the rest of the
+// fleet still runs to completion.
+func TestFleetPanicContainment(t *testing.T) {
+	spec := testSpec(2)
+	spec.Devices = 8
+	spec.Classes = []ClassWeight{{ClassBenign, 1}}
+	victims := map[int]bool{2: true, 5: true}
+	panicHook = func(p Params) {
+		if victims[p.Index] {
+			panic("injected device panic")
+		}
+	}
+	defer func() { panicHook = nil }()
+
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("a contained panic must not abort the run: %v", err)
+	}
+	if res.Failed != 2 {
+		t.Errorf("Failed = %d, want 2", res.Failed)
+	}
+	if res.Total.Devices != 6 {
+		t.Errorf("Total.Devices = %d, want 6 (failed devices contribute no stats)", res.Total.Devices)
+	}
+	var want []int64
+	for i := range victims {
+		want = append(want, spec.sample(i).Seed)
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if !reflect.DeepEqual(res.FailedSeeds, want) {
+		t.Errorf("FailedSeeds = %v, want %v", res.FailedSeeds, want)
+	}
+}
+
+// TestFleetFaultPlanDeterminism runs a fleet under an injected fault plan —
+// periodic power cuts plus probabilistic read/program faults — and requires
+// that every device survives its cuts (recovery + remount + reattach) and
+// that the aggregate remains a pure function of the Spec across worker
+// counts, per-device fault seeds included.
+func TestFleetFaultPlanDeterminism(t *testing.T) {
+	build := func(workers int) Spec {
+		spec := testSpec(workers)
+		spec.Devices = 12
+		spec.Days = 4
+		spec.Classes = []ClassWeight{{ClassBenign, 0.9}, {ClassAttack, 0.1}}
+		spec.Faults = &faultinject.Plan{
+			Seed:             99,
+			ReadFaultProb:    1e-4,
+			ProgramFaultProb: 1e-5,
+			PowerCutEvery:    20000,
+		}
+		return spec
+	}
+	before := remounts.Load()
+	first, err := Run(context.Background(), build(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Total.Devices != 12 {
+		t.Errorf("Total.Devices = %d, want 12 (power cuts must not kill devices)", first.Total.Devices)
+	}
+	if remounts.Load() == before {
+		t.Error("no device power-cycled; the plan's cuts never fired — tighten PowerCutEvery")
+	}
+	serial, err := Run(context.Background(), build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSpec(first), stripSpec(serial)) {
+		t.Errorf("faulted fleet differs across worker counts:\n%+v\nvs\n%+v", first, serial)
 	}
 }
 

@@ -206,7 +206,9 @@ func (c *metricCollector) resolve(s telemetry.Snapshot) {
 		return i
 	}
 	c.src.hostBytes = must("device.bytes_written")
-	c.src.bricked = must("device.bricked")
+	// "Failed" covers both hard bricks and read-only EOL retirement, the
+	// same definition the aggregate's Bricked counter uses.
+	c.src.bricked = must("device.failed")
 	c.src.wearLevel = must(telemetry.Name("device.wear_level", "pool", "b"))
 	c.src.mainBytes = must(telemetry.Name("nand.bytes_programmed", "chip", "main"))
 	c.src.mainErases = must(telemetry.Name("nand.erases", "chip", "main"))

@@ -2,12 +2,33 @@ package fleet
 
 import (
 	"context"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"flashwear/internal/telemetry"
 )
+
+// panicHook, when non-nil, runs before every device simulation; tests use
+// it to inject a panic and pin the worker containment behaviour.
+var panicHook func(p Params)
+
+// runDevice invokes one device simulation with panic containment: a
+// panicking device is reported as failed (panicked=true) rather than
+// crashing the worker goroutine and aborting the whole fleet run.
+func runDevice(ctx context.Context, spec Spec, p Params) (res DeviceResult, err error, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	if panicHook != nil {
+		panicHook(p)
+	}
+	res, err = simulateDevice(ctx, spec, p)
+	return
+}
 
 // Run simulates the fleet described by spec and returns the merged
 // population statistics. It blocks until every device has run, spec's
@@ -59,7 +80,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				if i >= spec.Devices {
 					return
 				}
-				res, err := simulateDevice(ctx, spec, spec.sample(i))
+				p := spec.sample(i)
+				res, err, panicked := runDevice(ctx, spec, p)
+				if panicked {
+					// Contained: record the failure with the seed that
+					// reproduces it and move on to the next device.
+					acc.noteFailed(p.Seed)
+					if spec.Progress != nil {
+						spec.Progress(int(done.Add(1)), spec.Devices)
+					}
+					continue
+				}
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -96,5 +127,10 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Which worker drew a failing device is a race; sorting the seeds keeps
+	// the Result a pure function of the Spec regardless of worker count.
+	sort.Slice(merged.FailedSeeds, func(a, b int) bool {
+		return merged.FailedSeeds[a] < merged.FailedSeeds[b]
+	})
 	return &Result{Spec: spec, Accumulator: merged}, nil
 }

@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"flashwear/internal/core"
@@ -41,6 +43,11 @@ type DeviceResult struct {
 	// Spec.MetricsEvery is set); see metrics.go.
 	metrics [][]int64
 }
+
+// remounts counts power-loss recoveries across all devices of all runs —
+// schedule-independent in total, never part of a Result; tests read it to
+// prove a fault plan actually exercised the recovery path.
+var remounts atomic.Int64
 
 // pacer wraps a StepFunc to hold its long-run average to a target rate:
 // after each burst it idles the device's clock until the bytes written so
@@ -81,6 +88,12 @@ func (p *pacer) Step(budget int64) (int64, error) {
 func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, error) {
 	prof := spec.Profiles[p.profile.idx].Profile
 	prof.Seed = p.Seed
+	if spec.Faults != nil && !spec.Faults.Empty() {
+		// Re-seed the plan per device: fault schedules stay independent
+		// across the population but are a pure function of the Spec.
+		plan := spec.Faults.WithSeed(spec.Faults.Seed + p.Seed)
+		prof.Faults = &plan
+	}
 	eff := prof.EffectiveScale(spec.Scale)
 	clock := simclock.New()
 	dev, err := device.New(prof.Scaled(spec.Scale), clock)
@@ -108,14 +121,6 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 		sampler.OnSample = coll.observe
 	}
 
-	if err := extfs.Mkfs(dev); err != nil {
-		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): mkfs: %w", p.Index, prof.Name, err)
-	}
-	fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
-	if err != nil {
-		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): mount: %w", p.Index, prof.Name, err)
-	}
-
 	// The paper's file-set shape: a few files in a private directory,
 	// rewritten at random offsets — under a few percent of capacity at
 	// full scale, clamped up so tiny scaled devices still have room for
@@ -124,10 +129,36 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 	if min := 4 * spec.ReqBytes; fileSize < min {
 		fileSize = min
 	}
-	set := workload.NewFileSet(fsys, "/app", fileSize, p.Seed+1)
-	set.ReqBytes = spec.ReqBytes
-	if err := set.Setup(); err != nil {
-		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): setup: %w", p.Index, prof.Name, err)
+	// mkfs, mount and the initial file fill can themselves be interrupted
+	// by an injected power cut; like a phone that loses power during first
+	// boot, the device power-cycles and reformats until setup holds. The
+	// retry count is deterministic, so so is the rebuilt file set.
+	var set *workload.FileSet
+	for attempt := 0; ; attempt++ {
+		err := func() error {
+			if err := extfs.Mkfs(dev); err != nil {
+				return fmt.Errorf("mkfs: %w", err)
+			}
+			fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
+			if err != nil {
+				return fmt.Errorf("mount: %w", err)
+			}
+			set = workload.NewFileSet(fsys, "/app", fileSize, p.Seed+1)
+			set.ReqBytes = spec.ReqBytes
+			if err := set.Setup(); err != nil {
+				return fmt.Errorf("setup: %w", err)
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, device.ErrPowerLoss) || attempt >= 8 {
+			return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
+		}
+		if err := dev.PowerCycle(); err != nil {
+			return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): power cycle: %w", p.Index, prof.Name, err)
+		}
 	}
 
 	runner := core.NewRunner(dev, clock, eff)
@@ -148,13 +179,74 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 	stop := func() bool {
 		return clock.Now() >= horizonEnd || ctx.Err() != nil
 	}
-	if err := runner.RunPhase(step, 0, stop); err != nil {
-		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
+	// A power cut surfaces as ErrPowerLoss from the step function. Like a
+	// real phone the device is power-cycled — the FTL rebuilds its mapping
+	// from on-flash OOB metadata — the file system remounted, the working
+	// files reattached, and the workload resumes until the horizon. A device
+	// that recovers into read-only EOL mode simply fails its next write and
+	// is reported failed by RunPhase. A phone that cannot boot at all — the
+	// remount hits a wear-dead page during journal replay, or the device
+	// comes back read-only or bricked — died of wear like any other and is
+	// reported bricked, not as a failed simulation. Boot itself can also be
+	// cut by the schedule, so it retries like the setup loop does.
+	diedBooting := false
+	for {
+		err := runner.RunPhase(step, 0, stop)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, device.ErrPowerLoss) && !errors.Is(err, ftl.ErrPowerLoss) {
+			if errors.Is(err, extfs.ErrCorrupt) || errors.Is(err, extfs.ErrNotExtfs) {
+				// Wear corrupted file-system structure out from under the
+				// workload (RunPhase already classifies the device-level
+				// death errors itself): dead phone, not a failed simulation.
+				diedBooting = true
+				break
+			}
+			return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
+		}
+		rebooted := false
+		for attempt := 0; attempt < 8 && !rebooted && !diedBooting; attempt++ {
+			if err := dev.PowerCycle(); err != nil {
+				return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): power cycle: %w", p.Index, prof.Name, err)
+			}
+			fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
+			if err == nil {
+				err = set.Reattach(fsys)
+			}
+			switch {
+			case err == nil:
+				rebooted = true
+			case errors.Is(err, device.ErrPowerLoss) || errors.Is(err, ftl.ErrPowerLoss):
+				// Cut again mid-boot: cycle and try once more.
+			case errors.Is(err, device.ErrBricked) || errors.Is(err, ftl.ErrBricked),
+				errors.Is(err, device.ErrReadOnly) || errors.Is(err, ftl.ErrReadOnly),
+				errors.Is(err, ftl.ErrUnreadable),
+				errors.Is(err, extfs.ErrCorrupt) || errors.Is(err, extfs.ErrNotExtfs):
+				// ErrUnreadable: a page the journal needs rotted past ECC.
+				// ErrCorrupt/ErrNotExtfs: extreme wear destroyed metadata
+				// that GC could no longer relocate (ftl.Stats.LostPages) —
+				// the superblock itself can rot. Either way the phone does
+				// not boot, which is the paper's brick.
+				diedBooting = true
+			default:
+				return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): remount: %w", p.Index, prof.Name, err)
+			}
+		}
+		if !rebooted {
+			// Either the boot found the device dead, or eight consecutive
+			// cuts landed inside it — a schedule so hot the phone can never
+			// come back up counts as dead too.
+			diedBooting = true
+			break
+		}
+		remounts.Add(1)
 	}
 	if err := ctx.Err(); err != nil {
 		return DeviceResult{}, err
 	}
 	rep := runner.Report()
+	rep.Bricked = rep.Bricked || diedBooting
 	var metricRows [][]int64
 	if coll != nil {
 		sampler.Stop()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flashwear/internal/device"
+	"flashwear/internal/faultinject"
 	"flashwear/internal/telemetry"
 )
 
@@ -91,6 +92,11 @@ type Spec struct {
 	// because every per-device sample is converted to full-scale integer
 	// (or fixed-point) sums before aggregation. See DESIGN.md §7.
 	MetricsEvery time.Duration
+	// Faults, if non-nil and non-empty, injects hardware faults into every
+	// device. Each device runs the plan re-seeded from (plan seed, device
+	// seed), so fault schedules are independent across the population yet
+	// a pure function of the Spec — determinism is preserved.
+	Faults *faultinject.Plan
 	// Telemetry, if non-nil, receives live per-worker progress counters
 	// (fleet.devices_done{worker=N}, fleet.bricks{worker=N}). Unlike
 	// Result.Metrics these depend on the schedule; they exist for
@@ -170,6 +176,11 @@ func (s Spec) Validate() error {
 		// The per-device cadence is MetricsEvery divided by the capacity
 		// scale; anything finer than a nanosecond cannot be scheduled.
 		return fmt.Errorf("fleet: MetricsEvery %v too fine for scale %d", s.MetricsEvery, s.Scale)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 	}
 	if err := weightsValid("profile", weightsOf(s.Profiles)); err != nil {
 		return err

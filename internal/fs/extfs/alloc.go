@@ -99,14 +99,14 @@ func (v *FS) drainQuarantine() error {
 	if len(v.quarantine) == 0 {
 		return nil
 	}
-	for blk := range v.quarantine {
+	for _, blk := range sortedKeys(v.quarantine) {
 		v.setBit(blk, false)
 		v.freeBlocks++
 		// Best-effort TRIM; ignore errors (the device may be dying).
 		_ = v.dev.Discard(int64(blk)*BlockSize, BlockSize)
 	}
 	v.quarantine = make(map[uint32]bool)
-	for idx := range v.dirtyBitmapBlocks {
+	for _, idx := range sortedKeys(v.dirtyBitmapBlocks) {
 		b := make([]byte, BlockSize)
 		base := int(idx) * BlockSize / 8
 		for w := 0; w < BlockSize/8; w++ {

@@ -5,6 +5,7 @@ import (
 
 	"flashwear/internal/blockdev"
 	"flashwear/internal/device"
+	"flashwear/internal/faultinject"
 	"flashwear/internal/fs"
 	"flashwear/internal/fs/fstest"
 	"flashwear/internal/simclock"
@@ -57,6 +58,66 @@ func TestCrashConformance(t *testing.T) {
 		}
 		if !rep.Clean() {
 			t.Fatalf("fsck after recovery: %v", rep.Corruptions)
+		}
+	})
+}
+
+// faultyCrashFS couples the file system's crash with the device's power
+// rail: SimulateCrash drops FS volatile state AND cuts device power, so
+// recovery exercises the FTL's OOB-scan rebuild underneath journal replay.
+type faultyCrashFS struct {
+	fstest.CrashFS
+	dev *device.Device
+}
+
+func (f faultyCrashFS) SimulateCrash() {
+	f.CrashFS.SimulateCrash()
+	f.dev.CutPower()
+}
+
+// TestCrashConformanceOnFaultyFlash runs the crash suite on a simulated
+// flash device under an injected fault plan — transient read faults and
+// program failures firing underneath the journal — with every crash also
+// cutting device power. Everything the FS synced must still survive, and
+// fsck must stay clean, through FTL recovery plus journal replay combined.
+func TestCrashConformanceOnFaultyFlash(t *testing.T) {
+	var dev *device.Device
+	fstest.RunCrash(t, func(t *testing.T) (fstest.CrashFS, func(t *testing.T) fstest.CrashFS) {
+		prof := device.ProfileEMMC8().Scaled(256)
+		prof.Faults = &faultinject.Plan{
+			Seed:             17,
+			ReadFaultProb:    2e-3,
+			ProgramFaultProb: 1e-3,
+			EraseFaultProb:   1e-4,
+		}
+		d, err := device.New(prof, simclock.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev = d
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		mount := func(t *testing.T) fstest.CrashFS {
+			if dev.PowerLost() {
+				if err := dev.PowerCycle(); err != nil {
+					t.Fatalf("power cycle: %v", err)
+				}
+			}
+			v, err := Mount(dev, fs.Options{})
+			if err != nil {
+				t.Fatalf("remount: %v", err)
+			}
+			return faultyCrashFS{v, dev}
+		}
+		return mount(t), mount
+	}, func(t *testing.T) {
+		rep, err := Fsck(dev)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("fsck after faulty-flash recovery: %v", rep.Corruptions)
 		}
 	})
 }

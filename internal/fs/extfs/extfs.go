@@ -616,8 +616,10 @@ func (v *FS) Sync() error {
 	if err := v.alive(); err != nil {
 		return err
 	}
-	for _, in := range v.inodes {
-		if in.hardDirty || in.softDirty {
+	// Sorted order: flushInode reads the inode's table block on a cache
+	// miss, and device operations must happen in a reproducible sequence.
+	for _, ino := range sortedKeys(v.inodes) {
+		if in := v.inodes[ino]; in.hardDirty || in.softDirty {
 			if err := v.flushInode(in); err != nil {
 				return err
 			}

@@ -3,6 +3,7 @@ package extfs
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Physical-block journaling, jbd2-style: each transaction is a descriptor
@@ -82,8 +83,8 @@ func (v *FS) commit() error {
 		// Absurdly large transaction; split by checkpointing directly.
 		// (Cannot happen with the small metadata footprint of this FS,
 		// but stay safe.)
-		for blk, b := range v.txn {
-			if err := writeBlock(v.dev, blk, b); err != nil {
+		for _, blk := range sortedKeys(v.txn) {
+			if err := writeBlock(v.dev, blk, v.txn[blk]); err != nil {
 				return err
 			}
 			delete(v.txn, blk)
@@ -96,16 +97,16 @@ func (v *FS) commit() error {
 			return err
 		}
 	}
-	// Descriptor.
+	// Descriptor. Homes are written in sorted order: map iteration order
+	// would permute the journal bodies, and a power cut landing inside the
+	// transaction would then make which blocks survived a function of that
+	// permutation — the one thing a deterministic simulation cannot have.
 	desc := make([]byte, BlockSize)
 	le := binary.LittleEndian
 	le.PutUint32(desc[0:], jdscMagic)
 	le.PutUint64(desc[4:], v.jSeq)
 	le.PutUint32(desc[12:], uint32(len(v.txn)))
-	homes := make([]uint32, 0, len(v.txn))
-	for blk := range v.txn {
-		homes = append(homes, blk)
-	}
+	homes := sortedKeys(v.txn)
 	for i, h := range homes {
 		le.PutUint32(desc[16+4*i:], h)
 	}
@@ -142,11 +143,23 @@ func (v *FS) commit() error {
 	return nil
 }
 
+// sortedKeys returns a map's keys in ascending order — every loop that
+// turns journaled state into device operations iterates in this order, so
+// the on-flash history is a pure function of the workload (see commit).
+func sortedKeys[V any](m map[uint32]V) []uint32 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
 // checkpoint writes all journaled blocks to their home locations and resets
 // the journal head.
 func (v *FS) checkpoint() error {
-	for blk, b := range v.pending {
-		if err := writeBlock(v.dev, blk, b); err != nil {
+	for _, blk := range sortedKeys(v.pending) {
+		if err := writeBlock(v.dev, blk, v.pending[blk]); err != nil {
 			return err
 		}
 		v.statCheckpointWrites++

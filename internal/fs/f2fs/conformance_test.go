@@ -5,6 +5,7 @@ import (
 
 	"flashwear/internal/blockdev"
 	"flashwear/internal/device"
+	"flashwear/internal/faultinject"
 	"flashwear/internal/fs"
 	"flashwear/internal/fs/fstest"
 	"flashwear/internal/simclock"
@@ -56,6 +57,65 @@ func TestCrashConformance(t *testing.T) {
 		}
 		if !rep.Clean() {
 			t.Fatalf("check after recovery: %v", rep.Corruptions)
+		}
+	})
+}
+
+// faultyCrashFS couples the file system's crash with the device's power
+// rail: SimulateCrash drops FS volatile state AND cuts device power, so
+// recovery exercises the FTL's OOB-scan rebuild underneath roll-forward.
+type faultyCrashFS struct {
+	fstest.CrashFS
+	dev *device.Device
+}
+
+func (f faultyCrashFS) SimulateCrash() {
+	f.CrashFS.SimulateCrash()
+	f.dev.CutPower()
+}
+
+// TestCrashConformanceOnFaultyFlash runs the crash suite on a simulated
+// flash device under an injected fault plan, with every crash also cutting
+// device power — the log-on-log recovery stack (f2fs roll-forward over FTL
+// OOB-scan rebuild) with transient faults firing underneath.
+func TestCrashConformanceOnFaultyFlash(t *testing.T) {
+	var dev *device.Device
+	fstest.RunCrash(t, func(t *testing.T) (fstest.CrashFS, func(t *testing.T) fstest.CrashFS) {
+		prof := device.ProfileMotoE8().Scaled(256)
+		prof.Faults = &faultinject.Plan{
+			Seed:             23,
+			ReadFaultProb:    2e-3,
+			ProgramFaultProb: 1e-3,
+			EraseFaultProb:   1e-4,
+		}
+		d, err := device.New(prof, simclock.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev = d
+		if err := Mkfs(dev); err != nil {
+			t.Fatal(err)
+		}
+		mount := func(t *testing.T) fstest.CrashFS {
+			if dev.PowerLost() {
+				if err := dev.PowerCycle(); err != nil {
+					t.Fatalf("power cycle: %v", err)
+				}
+			}
+			v, err := Mount(dev, fs.Options{})
+			if err != nil {
+				t.Fatalf("remount: %v", err)
+			}
+			return faultyCrashFS{v, dev}
+		}
+		return mount(t), mount
+	}, func(t *testing.T) {
+		rep, err := Check(dev)
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("check after faulty-flash recovery: %v", rep.Corruptions)
 		}
 	})
 }

@@ -28,6 +28,12 @@ type cachePool struct {
 
 	rmap  []int32 // physical page -> logical page, -1 if dead
 	valid []int32
+
+	// gseq / stats point at the owning FTL's sequence counter and Stats
+	// block (dummies when the pool is tested standalone).
+	gseq        *int64
+	stats       *Stats
+	readRetries int
 }
 
 func newCachePool(chip *nand.Chip) *cachePool {
@@ -37,6 +43,8 @@ func newCachePool(chip *nand.Chip) *cachePool {
 		ppb:   g.PagesPerBlock,
 		rmap:  make([]int32, g.Blocks()*g.PagesPerBlock),
 		valid: make([]int32, g.Blocks()),
+		gseq:  new(int64),
+		stats: new(Stats),
 	}
 	for i := range c.rmap {
 		c.rmap[i] = -1
@@ -81,7 +89,8 @@ func (c *cachePool) program(lp int32, data []byte, cost *Cost) (loc, error) {
 		}
 		b := c.ring[c.head]
 		addr := nand.PageAddr{Block: b, Page: c.headPage}
-		_, err := c.chip.ProgramPage(addr, data)
+		*c.gseq++
+		_, err := c.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *c.gseq})
 		cost.Programs++
 		c.headPage++
 		if err == nil {
@@ -90,6 +99,7 @@ func (c *cachePool) program(lp int32, data []byte, cost *Cost) (loc, error) {
 			return makeLoc(PoolA, b, addr.Page), nil
 		}
 		if errors.Is(err, nand.ErrProgramFail) {
+			c.stats.ProgramRetries++
 			continue // page wasted; try the next slot
 		}
 		return noLoc, err
@@ -107,10 +117,16 @@ func (c *cachePool) invalidate(l loc) {
 	c.valid[l.block()]--
 }
 
-// read returns the payload at l.
+// read returns the payload at l, with firmware read-retry.
 func (c *cachePool) read(l loc, cost *Cost) ([]byte, error) {
-	data, _, err := c.chip.ReadPage(nand.PageAddr{Block: l.block(), Page: l.page()})
+	a := nand.PageAddr{Block: l.block(), Page: l.page()}
+	data, _, err := c.chip.ReadPage(a)
 	cost.Reads++
+	for r := 0; r < c.readRetries && errors.Is(err, nand.ErrUncorrectable); r++ {
+		c.stats.ReadRetries++
+		data, _, err = c.chip.ReadPage(a)
+		cost.Reads++
+	}
 	return data, err
 }
 
@@ -119,6 +135,16 @@ func (c *cachePool) read(l loc, cost *Cost) ([]byte, error) {
 // main pool; otherwise (dead page, or nothing to drain) it returns lp = -1.
 // Fully scanned tail blocks are erased and rejoin the ring.
 func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
+	if c.tailPage >= c.ppb {
+		// A fully scanned tail block is erased lazily, on the *next* drain
+		// call: erasing it in the same call that read its last live page
+		// would destroy the only flash copy of data still in RAM on its
+		// way to the main pool, and a power cut in that window would lose
+		// an acknowledged write.
+		if err := c.eraseTail(cost); err != nil {
+			return -1, nil, err
+		}
+	}
 	if !c.content() {
 		return -1, nil, nil
 	}
@@ -143,6 +169,11 @@ func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
 	if lp >= 0 {
 		data, err = c.read(makeLoc(PoolA, b, c.tailPage), cost)
 		if err != nil {
+			if errors.Is(err, nand.ErrPowerLoss) {
+				// Power failed, not the page: leave everything in place
+				// for recovery and report the cut.
+				return -1, nil, err
+			}
 			// Uncorrectable: the page's data is lost.
 			c.rmap[idx] = -1
 			c.valid[b]--
@@ -152,22 +183,24 @@ func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
 		}
 	}
 	c.tailPage++
-	if c.tailPage >= c.ppb {
-		c.eraseTail(cost)
-	}
 	return lp, data, nil
 }
 
-// eraseTail erases the fully scanned tail block and advances the tail.
-func (c *cachePool) eraseTail(cost *Cost) {
+// eraseTail erases the fully scanned tail block and advances the tail. A
+// power cut leaves the block, its pages, and the tail cursor untouched.
+func (c *cachePool) eraseTail(cost *Cost) error {
 	b := c.ring[c.tail]
+	_, err := c.chip.EraseBlock(b)
+	cost.Erases++
+	if errors.Is(err, nand.ErrPowerLoss) {
+		c.tailPage = c.ppb // resume here after recovery-less restarts
+		return err
+	}
 	base := b * c.ppb
 	for pg := 0; pg < c.ppb; pg++ {
 		c.rmap[base+pg] = -1
 	}
 	c.valid[b] = 0
-	_, err := c.chip.EraseBlock(b)
-	cost.Erases++
 	pos := c.tail
 	c.tail = (c.tail + 1) % len(c.ring)
 	c.tailPage = 0
@@ -176,6 +209,7 @@ func (c *cachePool) eraseTail(cost *Cost) {
 		c.chip.MarkBad(b)
 		c.removeFromRing(pos)
 	}
+	return nil
 }
 
 // removeFromRing drops the block at ring position pos, fixing up head/tail

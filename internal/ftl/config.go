@@ -104,6 +104,21 @@ type Config struct {
 	// margins; the cells and the indicator need not agree). Zero means
 	// use each chip's rated P/E.
 	FirmwareRatedPE int
+	// ReadRetries is how many times the firmware re-reads a page after an
+	// uncorrectable result before giving up — real controllers step
+	// through read-retry voltage tables the same way. 0 means the default
+	// (2); -1 disables retries.
+	ReadRetries int
+	// BrickAtEOL restores the legacy behaviour the paper describes for the
+	// BLU phones: when space is exhausted the device hard-bricks
+	// (ErrBricked) instead of degrading to JEDEC-style read-only mode.
+	BrickAtEOL bool
+	// EOLSpareBlocks, when > 0, retires the device into read-only mode
+	// proactively once the main pool's spare blocks (good blocks beyond
+	// those needed for the exported capacity) drop below this count,
+	// instead of waiting for allocation to fail outright. Zero disables
+	// the proactive check (small simulated chips have very few spares).
+	EOLSpareBlocks int
 }
 
 func (c *Config) setDefaults() {
@@ -119,6 +134,9 @@ func (c *Config) setDefaults() {
 	if c.Wear == nil {
 		w := DefaultWearLeveling()
 		c.Wear = &w
+	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 2
 	}
 	if c.Wear.StaticThreshold == 0 {
 		c.Wear.StaticThreshold = 64
@@ -155,6 +173,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("ftl: GCHighWater = %d, want > GCLowWater (%d)", c.GCHighWater, c.GCLowWater)
 	case c.GC != GCGreedy && c.GC != GCCostBenefit:
 		return fmt.Errorf("ftl: unknown GC policy %d", c.GC)
+	case c.ReadRetries < -1:
+		return fmt.Errorf("ftl: ReadRetries = %d, want >= -1", c.ReadRetries)
+	case c.EOLSpareBlocks < 0:
+		return fmt.Errorf("ftl: EOLSpareBlocks = %d, want >= 0", c.EOLSpareBlocks)
 	}
 	if c.Hybrid != nil {
 		h := c.Hybrid

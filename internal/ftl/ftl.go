@@ -17,6 +17,14 @@ var (
 	ErrRange = errors.New("ftl: logical page out of range")
 	// ErrUnreadable is returned when a read hits an uncorrectable error.
 	ErrUnreadable = errors.New("ftl: uncorrectable read")
+	// ErrReadOnly means endurance is exhausted and the device has retired
+	// into JEDEC-style read-only mode: writes, trims, and sanitize are
+	// refused, but reads (and flushes) still succeed. This is the graceful
+	// sibling of ErrBricked — how a well-behaved eMMC part ends its life.
+	ErrReadOnly = errors.New("ftl: device is read-only (end of life)")
+	// ErrPowerLoss means power dropped mid-operation. All volatile FTL
+	// state is gone; the host must run Recover before issuing I/O.
+	ErrPowerLoss = errors.New("ftl: power lost")
 )
 
 // Cost accumulates the raw flash work an operation caused. The device layer
@@ -46,6 +54,9 @@ type Stats struct {
 	CacheBypassed    int64 // small host pages that bypassed a full cache
 	LostPages        int64 // pages lost to uncorrectable errors during GC
 	MergeEvents      int64 // times the pools entered merged mode
+	ReadRetries      int64 // extra reads issued after uncorrectable results
+	ProgramRetries   int64 // pages re-programmed after program failures
+	Recoveries       int64 // successful power-loss recoveries (remounts)
 }
 
 // FTL is a page-mapped flash translation layer over one or two NAND chips.
@@ -58,6 +69,7 @@ type FTL struct {
 
 	pageSize     int
 	logicalPages int
+	userBlocks   int
 
 	l2p          []loc
 	validLogical int64
@@ -65,6 +77,13 @@ type FTL struct {
 	drainDebt float64
 	merged    bool
 	bricked   bool
+	readOnly  bool
+	powerLost bool
+
+	// gseq is the global program sequence number stamped into per-page OOB
+	// metadata; the live copy of a logical page is always the one with the
+	// highest sequence, which is what power-loss recovery relies on.
+	gseq int64
 
 	// Fragmentation is O(blocks) to compute, so it is cached and
 	// refreshed periodically.
@@ -90,12 +109,16 @@ func New(cfg Config) (*FTL, error) {
 	if userBlocks < 1 {
 		return nil, fmt.Errorf("ftl: geometry too small: %d user blocks", userBlocks)
 	}
+	f.userBlocks = userBlocks
 	f.logicalPages = userBlocks * mainChip.Geometry().PagesPerBlock
 	f.l2p = make([]loc, f.logicalPages)
 	for i := range f.l2p {
 		f.l2p[i] = noLoc
 	}
 	f.main = newGCPool(PoolB, mainChip, &cfg, f.remap)
+	f.main.gseq = &f.gseq
+	f.main.stats = &f.stats
+	f.main.readRetries = retries(cfg.ReadRetries)
 
 	if cfg.Hybrid != nil {
 		cacheChip, err := nand.New(cfg.Hybrid.CacheChip)
@@ -108,8 +131,19 @@ func New(cfg Config) (*FTL, error) {
 		}
 		f.cacheChip = cacheChip
 		f.cache = newCachePool(cacheChip)
+		f.cache.gseq = &f.gseq
+		f.cache.stats = &f.stats
+		f.cache.readRetries = retries(cfg.ReadRetries)
 	}
 	return f, nil
+}
+
+// retries maps the Config.ReadRetries encoding (-1 = off) to a count.
+func retries(cfg int) int {
+	if cfg < 0 {
+		return 0
+	}
+	return cfg
 }
 
 // remap records a relocation decided inside a pool (GC, wear-leveling).
@@ -142,6 +176,41 @@ func (f *FTL) Utilisation() float64 {
 
 // Bricked reports whether the device has failed permanently.
 func (f *FTL) Bricked() bool { return f.bricked }
+
+// ReadOnly reports whether the device has retired into read-only EOL mode.
+func (f *FTL) ReadOnly() bool { return f.readOnly }
+
+// Failed reports whether the device can no longer accept writes — either
+// the graceful read-only retirement or the hard brick.
+func (f *FTL) Failed() bool { return f.bricked || f.readOnly }
+
+// PowerLost reports whether the FTL saw power drop; Recover clears it.
+func (f *FTL) PowerLost() bool { return f.powerLost }
+
+// enterEOL handles space exhaustion: graceful read-only retirement by
+// default, the legacy hard brick when the profile asks for it (the paper's
+// BLU phones). cause is the allocation failure that triggered it.
+func (f *FTL) enterEOL(cause error) error {
+	if f.cfg.BrickAtEOL {
+		f.bricked = true
+		return fmt.Errorf("%w: %v", ErrBricked, cause)
+	}
+	f.readOnly = true
+	return fmt.Errorf("%w: %v", ErrReadOnly, cause)
+}
+
+// notePowerLoss latches the power-lost state and converts a chip-level
+// power-loss error into the host-facing one.
+func (f *FTL) notePowerLoss(cause error) error {
+	f.powerLost = true
+	return fmt.Errorf("%w: %w", ErrPowerLoss, cause)
+}
+
+// spareLow reports whether the proactive EOL threshold has been crossed.
+func (f *FTL) spareLow() bool {
+	n := f.cfg.EOLSpareBlocks
+	return n > 0 && f.main.goodBlocks()-f.userBlocks < n
+}
 
 // Merged reports whether the hybrid pools are operating as one (§4.3).
 func (f *FTL) Merged() bool { return f.merged }
@@ -235,7 +304,7 @@ func (f *FTL) LifeConsumed(pool PoolID) float64 {
 func (f *FTL) PreEOLInfo() int {
 	life := f.lifeConsumed(f.main.chip)
 	switch {
-	case f.bricked || life >= 0.9:
+	case f.bricked || f.readOnly || life >= 0.9:
 		return 3
 	case life >= 0.8:
 		return 2
@@ -256,8 +325,13 @@ func (f *FTL) checkRange(lp int) error {
 // which drives hybrid routing (small requests go through the cache).
 func (f *FTL) WritePage(lp int, data []byte, reqBytes int) (Cost, error) {
 	var cost Cost
-	if f.bricked {
+	switch {
+	case f.bricked:
 		return cost, ErrBricked
+	case f.readOnly:
+		return cost, ErrReadOnly
+	case f.powerLost:
+		return cost, ErrPowerLoss
 	}
 	if err := f.checkRange(lp); err != nil {
 		return cost, err
@@ -276,9 +350,11 @@ func (f *FTL) WritePage(lp int, data []byte, reqBytes int) (Cost, error) {
 		newLoc, err = f.main.program(int32(lp), data, &cost, false, streamHost)
 	}
 	if err != nil {
-		if errors.Is(err, ErrNoSpace) {
-			f.bricked = true
-			return cost, fmt.Errorf("%w: %v", ErrBricked, err)
+		switch {
+		case errors.Is(err, nand.ErrPowerLoss):
+			return cost, f.notePowerLoss(err)
+		case errors.Is(err, ErrNoSpace):
+			return cost, f.enterEOL(err)
 		}
 		return cost, err
 	}
@@ -292,6 +368,11 @@ func (f *FTL) WritePage(lp int, data []byte, reqBytes int) (Cost, error) {
 	}
 	f.l2p[lp] = newLoc
 	f.main.maybeStaticWL(&cost)
+	if f.spareLow() {
+		// Proactive retirement: the write that consumed the spare margin
+		// still succeeded; the *next* one sees ErrReadOnly.
+		f.readOnly = true
+	}
 	return cost, nil
 }
 
@@ -348,8 +429,17 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 			}
 		}
 		if f.cache.hasFreeSlot() {
-			f.stats.CacheAbsorbed++
-			return f.cache.program(int32(lp), data, cost)
+			l, err := f.cache.program(int32(lp), data, cost)
+			if err == nil {
+				f.stats.CacheAbsorbed++
+				return l, nil
+			}
+			if !errors.Is(err, ErrNoSpace) {
+				return noLoc, err
+			}
+			// Program-failure retries can eat the cache's last slots
+			// mid-write; a full cache is a routing condition, not device
+			// EOL — fall through to the main pool.
 		}
 		f.stats.CacheBypassed++
 		return f.main.program(int32(lp), data, cost, false, streamHost)
@@ -368,8 +458,16 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 		}
 	}
 	if f.cache.hasFreeSlot() {
-		f.stats.CacheAbsorbed++
-		return f.cache.program(int32(lp), data, cost)
+		l, err := f.cache.program(int32(lp), data, cost)
+		if err == nil {
+			f.stats.CacheAbsorbed++
+			return l, nil
+		}
+		if !errors.Is(err, ErrNoSpace) {
+			return noLoc, err
+		}
+		// See the merged path: a cache exhausted by program-failure
+		// retries bypasses rather than ending the device's life.
 	}
 	f.stats.CacheBypassed++
 	return f.main.program(int32(lp), data, cost, false, streamHost)
@@ -380,6 +478,9 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 func (f *FTL) drainOne(cost *Cost) error {
 	lp, data, err := f.cache.drainOne(cost)
 	if err != nil {
+		if errors.Is(err, nand.ErrPowerLoss) {
+			return f.notePowerLoss(err)
+		}
 		return err
 	}
 	switch {
@@ -392,9 +493,11 @@ func (f *FTL) drainOne(cost *Cost) error {
 	// move succeeds.
 	nl, err := f.main.program(lp, data, cost, false, streamHost)
 	if err != nil {
-		if errors.Is(err, ErrNoSpace) {
-			f.bricked = true
-			return fmt.Errorf("%w: during cache drain: %v", ErrBricked, err)
+		switch {
+		case errors.Is(err, nand.ErrPowerLoss):
+			return f.notePowerLoss(err)
+		case errors.Is(err, ErrNoSpace):
+			return f.enterEOL(fmt.Errorf("during cache drain: %v", err))
 		}
 		return err
 	}
@@ -421,6 +524,9 @@ func (f *FTL) invalidateLoc(l loc) {
 // data too.
 func (f *FTL) ReadPage(lp int) ([]byte, Cost, error) {
 	var cost Cost
+	if f.powerLost {
+		return nil, cost, ErrPowerLoss
+	}
 	if err := f.checkRange(lp); err != nil {
 		return nil, cost, err
 	}
@@ -437,6 +543,9 @@ func (f *FTL) ReadPage(lp int) ([]byte, Cost, error) {
 		data, err = f.main.read(l, &cost)
 	}
 	if err != nil {
+		if errors.Is(err, nand.ErrPowerLoss) {
+			return nil, cost, f.notePowerLoss(err)
+		}
 		return nil, cost, fmt.Errorf("%w: page %d: %v", ErrUnreadable, lp, err)
 	}
 	return data, cost, nil
@@ -445,6 +554,12 @@ func (f *FTL) ReadPage(lp int) ([]byte, Cost, error) {
 // TrimPage discards a logical page (like an SD/eMMC discard or FS trim).
 func (f *FTL) TrimPage(lp int) (Cost, error) {
 	var cost Cost
+	switch {
+	case f.readOnly:
+		return cost, ErrReadOnly
+	case f.powerLost:
+		return cost, ErrPowerLoss
+	}
 	if err := f.checkRange(lp); err != nil {
 		return cost, err
 	}
@@ -457,10 +572,14 @@ func (f *FTL) TrimPage(lp int) (Cost, error) {
 }
 
 // Flush is a barrier; the simulated FTL has no volatile write cache, so it
-// only reports zero cost.
+// only reports zero cost. A read-only EOL device still acknowledges
+// flushes (there is nothing buffered to lose), a bricked one does not.
 func (f *FTL) Flush() (Cost, error) {
 	if f.bricked {
 		return Cost{}, ErrBricked
+	}
+	if f.powerLost {
+		return Cost{}, ErrPowerLoss
 	}
 	return Cost{}, nil
 }
@@ -475,8 +594,13 @@ func (f *FTL) GCCopies() int64 { return f.main.gcCopies }
 // per block and restores exactly none of the consumed lifetime.
 func (f *FTL) Sanitize() (Cost, error) {
 	var cost Cost
-	if f.bricked {
+	switch {
+	case f.bricked:
 		return cost, ErrBricked
+	case f.readOnly:
+		return cost, ErrReadOnly
+	case f.powerLost:
+		return cost, ErrPowerLoss
 	}
 	for lp := range f.l2p {
 		if f.l2p[lp] != noLoc {
@@ -497,10 +621,16 @@ func (f *FTL) Sanitize() (Cost, error) {
 		}
 		p.state[b] = sFull // eraseToFree expects a non-free block
 		p.eraseToFree(b, &cost)
+		if p.lostPower {
+			return cost, f.notePowerLoss(nand.ErrPowerLoss)
+		}
 	}
 	if f.cache != nil && f.cache.alive() {
 		for f.cache.content() {
 			if _, _, err := f.cache.drainOne(&cost); err != nil {
+				if errors.Is(err, nand.ErrPowerLoss) {
+					return cost, f.notePowerLoss(err)
+				}
 				return cost, err
 			}
 		}

@@ -268,9 +268,11 @@ func TestWearLevelingSpreadsErases(t *testing.T) {
 
 // TestDeviceWearsOutAndBricks drives a low-endurance device to destruction,
 // checking the indicator walks 1..11 and writes eventually fail — the core
-// mechanism behind every experiment in §4.
+// mechanism behind every experiment in §4. BrickAtEOL pins the legacy
+// hard-brick behaviour the paper's phones exhibit; graceful read-only
+// retirement (the default) is covered in recover_test.go.
 func TestDeviceWearsOutAndBricks(t *testing.T) {
-	f := newTestFTL(t, func(c *Config) { c.MainChip = testChipCfg(60) })
+	f := newTestFTL(t, func(c *Config) { c.MainChip = testChipCfg(60); c.BrickAtEOL = true })
 	rng := rand.New(rand.NewSource(6))
 	lastIndicator := 0
 	var err error

@@ -62,6 +62,16 @@ type gcPool struct {
 	gcCopies int64
 	// collects counts GC invocations (collect calls that did work).
 	collects int64
+
+	// gseq points at the FTL's global OOB sequence counter; stats at its
+	// Stats block (both owned by the FTL, dummies when tested standalone).
+	gseq  *int64
+	stats *Stats
+	// readRetries is how many re-reads follow an uncorrectable result.
+	readRetries int
+	// lostPower is set when an internal operation (GC read/erase) saw
+	// power drop, for paths that cannot propagate an error.
+	lostPower bool
 }
 
 func newGCPool(id PoolID, chip *nand.Chip, cfg *Config, remap func(int32, loc)) *gcPool {
@@ -85,6 +95,8 @@ func newGCPool(id PoolID, chip *nand.Chip, cfg *Config, remap func(int32, loc)) 
 		reserve:    2,
 		relocating: -1,
 		remap:      remap,
+		gseq:       new(int64),
+		stats:      new(Stats),
 	}
 	for i := range p.rmap {
 		p.rmap[i] = -1
@@ -174,7 +186,14 @@ func (p *gcPool) openFor(cost *Cost, reserveOK bool, st int) error {
 		}
 	}
 	if len(p.free) <= floor {
-		return ErrNoSpace
+		// Perfectly compacted: if no block holds a single dead page there
+		// is nothing GC could ever reclaim, so the reserve margin is plain
+		// capacity, not relocation headroom. Let the host consume it down
+		// to one block — all a future relocation pass needs, and any
+		// overwrite it absorbs mints the garbage that restarts GC.
+		if reserveOK || floor <= 1 || len(p.free) <= 1 || p.hasGarbage() {
+			return ErrNoSpace
+		}
 	}
 	b := p.takeFree()
 	*blk = b
@@ -205,7 +224,8 @@ func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st i
 			return noLoc, err
 		}
 		addr := nand.PageAddr{Block: *blk, Page: *page}
-		_, err := p.chip.ProgramPage(addr, data)
+		*p.gseq++
+		_, err := p.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *p.gseq})
 		cost.Programs++
 		*page++
 		p.fill[addr.Block]++
@@ -218,6 +238,7 @@ func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st i
 		if errors.Is(err, nand.ErrProgramFail) {
 			// The page is wasted; retire the block if it keeps failing,
 			// otherwise try the next page.
+			p.stats.ProgramRetries++
 			if *page >= p.ppb {
 				continue // openFor will close it
 			}
@@ -229,6 +250,16 @@ func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st i
 		return noLoc, fmt.Errorf("ftl: program: %w", err)
 	}
 	return noLoc, fmt.Errorf("ftl: program: persistent program failures in pool %v", p.id)
+}
+
+// hasGarbage reports whether any usable block holds a superseded page.
+func (p *gcPool) hasGarbage() bool {
+	for b := range p.state {
+		if p.state[b] != sBad && p.fill[b] > p.valid[b] {
+			return true
+		}
+	}
+	return false
 }
 
 // retireOpen relocates a stream's open block's valid pages and marks it bad.
@@ -252,10 +283,17 @@ func (p *gcPool) invalidate(l loc) {
 	p.valid[l.block()]--
 }
 
-// read returns the payload (nil for accounting-only pages) at l.
+// read returns the payload (nil for accounting-only pages) at l, stepping
+// through firmware read-retry on uncorrectable results.
 func (p *gcPool) read(l loc, cost *Cost) ([]byte, error) {
-	data, _, err := p.chip.ReadPage(nand.PageAddr{Block: l.block(), Page: l.page()})
+	a := nand.PageAddr{Block: l.block(), Page: l.page()}
+	data, _, err := p.chip.ReadPage(a)
 	cost.Reads++
+	for r := 0; r < p.readRetries && errors.Is(err, nand.ErrUncorrectable); r++ {
+		p.stats.ReadRetries++
+		data, _, err = p.chip.ReadPage(a)
+		cost.Reads++
+	}
 	return data, err
 }
 
@@ -278,6 +316,12 @@ func (p *gcPool) collect(cost *Cost) error {
 			return nil
 		}
 		p.relocate(v, cost)
+		if p.lostPower {
+			// Power failed mid-collection: the victim stays where it is
+			// (retrying would spin forever against a dead chip) and the
+			// cut surfaces to the host like any other failed operation.
+			return nand.ErrPowerLoss
+		}
 		// Relocation may have been unable to finish (no space), or nested
 		// collection may already have reclaimed v; never erase a block
 		// that still holds valid pages or already left the full state.
@@ -291,6 +335,9 @@ func (p *gcPool) collect(cost *Cost) error {
 			return nil
 		}
 		p.eraseToFree(v, cost)
+		if p.lostPower {
+			return nand.ErrPowerLoss
+		}
 	}
 	return nil
 }
@@ -343,6 +390,12 @@ func (p *gcPool) relocateTo(b int, cost *Cost, st int) {
 		}
 		data, err := p.read(makeLoc(p.id, b, pg), cost)
 		if err != nil {
+			if errors.Is(err, nand.ErrPowerLoss) {
+				// Power, not the page, failed: the data is intact on
+				// flash and recovery will find it. Stop relocating.
+				p.lostPower = true
+				return
+			}
 			// Uncorrectable during GC: the data is lost; drop the
 			// mapping rather than propagate garbage. Firmware logs
 			// this as a grown defect.
@@ -367,6 +420,13 @@ func (p *gcPool) relocateTo(b int, cost *Cost, st int) {
 func (p *gcPool) eraseToFree(b int, cost *Cost) {
 	_, err := p.chip.EraseBlock(b)
 	cost.Erases++
+	if errors.Is(err, nand.ErrPowerLoss) {
+		// Nothing latched: the block is untouched, not bad. Leave it
+		// full; recovery rebuilds from the chip anyway.
+		p.lostPower = true
+		p.state[b] = sFull
+		return
+	}
 	p.erasesSinceWL++
 	base := b * p.ppb
 	for pg := 0; pg < p.ppb; pg++ {

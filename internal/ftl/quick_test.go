@@ -140,6 +140,95 @@ func TestQuickWearMonotonic(t *testing.T) {
 	}
 }
 
+// TestQuickRemountMatchesModel interleaves clean power cuts and OOB-scan
+// recoveries into a random write/read workload: the remounted FTL must
+// behave exactly like one that never lost power. Writes and reads only —
+// trims are volatile by contract, so they would make the model ambiguous.
+func TestQuickRemountMatchesModel(t *testing.T) {
+	run := func(seed int64, hybrid bool) bool {
+		var cfg Config
+		cfg.MainChip = nand.Config{
+			Geometry: nand.Geometry{
+				Dies: 1, PlanesPerDie: 2, BlocksPerPlane: 12,
+				PagesPerBlock: 8, PageSize: 4096,
+			},
+			Cell: nand.MLC, RatedPE: 100_000, Seed: seed,
+		}
+		if hybrid {
+			cfg.Hybrid = &HybridConfig{
+				CacheChip: nand.Config{
+					Geometry: nand.Geometry{
+						Dies: 1, PlanesPerDie: 1, BlocksPerPlane: 4,
+						PagesPerBlock: 8, PageSize: 4096,
+					},
+					Cell: nand.SLC, RatedPE: 100_000, Seed: seed + 1,
+				},
+				DrainRatio:       0.25,
+				MergeUtilisation: 0.8,
+			}
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := f.LogicalPages()
+		model := make(map[int]byte)
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, 4096)
+		remounts := 0
+		for op := 0; op < 2000; op++ {
+			if op%137 == 136 {
+				f.CutPower()
+				if _, err := f.Recover(); err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				remounts++
+			}
+			lp := rng.Intn(n)
+			if rng.Intn(4) == 0 { // read and check
+				data, _, err := f.ReadPage(lp)
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				want, mapped := model[lp]
+				if mapped != (data != nil) || (mapped && data[0] != want) {
+					return false
+				}
+				continue
+			}
+			v := byte(rng.Intn(255) + 1)
+			for i := range buf {
+				buf[i] = v
+			}
+			reqBytes := 4096
+			if rng.Intn(4) == 0 {
+				reqBytes = 1 << 20
+			}
+			if _, err := f.WritePage(lp, buf, reqBytes); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			model[lp] = v
+		}
+		if remounts == 0 || f.Stats().Recoveries != int64(remounts) {
+			t.Fatalf("remounts = %d, Recoveries = %d", remounts, f.Stats().Recoveries)
+		}
+		for lp := 0; lp < n; lp++ {
+			data, _, err := f.ReadPage(lp)
+			if err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			want, mapped := model[lp]
+			if mapped != (data != nil) || (mapped && (data[0] != want || data[4095] != want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickUtilisationBounded: utilisation tracks mapped pages exactly and
 // stays in [0, 1].
 func TestQuickUtilisationBounded(t *testing.T) {

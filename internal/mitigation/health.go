@@ -70,7 +70,7 @@ func (w *WearWatch) Sample(now time.Duration) HealthSample {
 			worst = b
 		}
 		switch {
-		case w.Dev.Bricked() || worst >= 11 || pre >= 3:
+		case w.Dev.Failed() || worst >= 11 || pre >= 3:
 			s.Alert = AlertCritical
 		case worst >= 9 || pre >= 2:
 			s.Alert = AlertWarning

@@ -48,6 +48,10 @@ type Config struct {
 	// here rather than in the FTL so ReadPage can report uncorrectable
 	// reads directly. Defaults to 8, eMMC-class BCH.
 	CorrectableBits int
+	// Inject, when non-nil, is consulted before every operation and may
+	// force transient read errors, program/erase failures, or a power
+	// cut. Nil (the default) costs one pointer comparison per op.
+	Inject FaultInjector
 }
 
 const (
@@ -67,8 +71,18 @@ type Chip struct {
 	now     func() time.Duration
 	rng     *rand.Rand
 	tcorr   int
+	inject  FaultInjector
 	blocks  []block
 	stats   Stats
+}
+
+// OOB is the spare-area metadata firmware stores alongside each page: the
+// logical page the payload belongs to and a device-global monotonic program
+// sequence number. Power-loss recovery rebuilds the whole logical-physical
+// map from nothing but these two fields (the highest sequence wins).
+type OOB struct {
+	LP  int32 // logical page, -1 for pages written without a mapping
+	Seq int64 // global program sequence; 0 means "no metadata"
 }
 
 type block struct {
@@ -81,6 +95,7 @@ type block struct {
 	lastErase  time.Duration
 	reads      int64          // reads since last erase (read disturb)
 	data       map[int][]byte // page payloads, present only for data-bearing writes
+	meta       []OOB          // per-page spare-area metadata, lazily allocated
 }
 
 // Stats counts raw chip activity since creation.
@@ -148,6 +163,7 @@ func New(cfg Config) (*Chip, error) {
 		now:     cfg.Now,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		tcorr:   tcorr,
+		inject:  cfg.Inject,
 		blocks:  make([]block, cfg.Geometry.Blocks()),
 	}
 	for i := range c.blocks {
@@ -210,8 +226,12 @@ func (c *Chip) ReadsSinceErase(blockIdx int) int64 { return c.blocks[blockIdx].r
 func (c *Chip) Bad(blockIdx int) bool { return c.blocks[blockIdx].bad }
 
 // MarkBad retires a block. Firmware calls this after a program/erase failure
-// or an uncorrectable read.
+// or an uncorrectable read. While power is cut nothing can be persisted, so
+// the request is ignored.
 func (c *Chip) MarkBad(blockIdx int) {
+	if c.inject != nil && c.inject.Down() {
+		return
+	}
 	if !c.blocks[blockIdx].bad {
 		c.blocks[blockIdx].bad = true
 		c.stats.BadBlocks++
@@ -300,6 +320,13 @@ type OpResult struct {
 // NAND constraints are enforced: the block must not be bad, and pages within
 // a block must be programmed in order, each exactly once per erase cycle.
 func (c *Chip) ProgramPage(a PageAddr, data []byte) (OpResult, error) {
+	return c.ProgramPageOOB(a, data, OOB{LP: -1})
+}
+
+// ProgramPageOOB is ProgramPage with spare-area metadata: oob is stored
+// with the page on success and is readable back via ReadOOB without any
+// error sampling — it is what power-loss recovery scans.
+func (c *Chip) ProgramPageOOB(a PageAddr, data []byte, oob OOB) (OpResult, error) {
 	if err := c.checkAddr(a); err != nil {
 		return OpResult{}, err
 	}
@@ -317,13 +344,20 @@ func (c *Chip) ProgramPage(a PageAddr, data []byte) (OpResult, error) {
 	if data != nil && len(data) != c.geo.PageSize {
 		return res, fmt.Errorf("nand: program %v: data length %d != page size %d", a, len(data), c.geo.PageSize)
 	}
+	injected := FaultNone
+	if c.inject != nil {
+		injected = c.inject.Inject(OpProgram)
+		if injected == FaultPowerCut {
+			return res, fmt.Errorf("%w: program %v", ErrPowerLoss, a)
+		}
+	}
 	c.stats.Programs++
 	c.stats.BytesProgrammed += int64(c.geo.PageSize)
 	if b.nextPage == 0 {
 		b.firstProg = c.simNow()
 	}
 	b.nextPage++
-	if c.rng.Float64() < c.emodel.FailProb(c.Wear(a.Block)) {
+	if injected == FaultProgram || c.rng.Float64() < c.emodel.FailProb(c.Wear(a.Block)) {
 		c.stats.ProgramFails++
 		return res, fmt.Errorf("%w: %v", ErrProgramFail, a)
 	}
@@ -335,7 +369,37 @@ func (c *Chip) ProgramPage(a PageAddr, data []byte) (OpResult, error) {
 		copy(cp, data)
 		b.data[a.Page] = cp
 	}
+	if b.meta == nil {
+		b.meta = make([]OOB, c.geo.PagesPerBlock)
+		for i := range b.meta {
+			b.meta[i].LP = -1
+		}
+	}
+	b.meta[a.Page] = oob
 	return res, nil
+}
+
+// ReadOOB returns the spare-area metadata of a page and whether any was
+// stored (pages of failed programs and pre-OOB writes report false). It is
+// a recovery-scan primitive: no error sampling, no read-disturb, no stats —
+// the FTL accounts the scan's flash work itself.
+func (c *Chip) ReadOOB(a PageAddr) (OOB, bool) {
+	if c.checkAddr(a) != nil {
+		return OOB{LP: -1}, false
+	}
+	b := &c.blocks[a.Block]
+	if a.Page >= b.nextPage || b.meta == nil {
+		return OOB{LP: -1}, false
+	}
+	m := b.meta[a.Page]
+	return m, m.Seq != 0
+}
+
+// ProgrammedPages returns how many pages of a block have been programmed
+// (including failed programs) since its last erase — the high-water mark a
+// recovery scan walks.
+func (c *Chip) ProgrammedPages(blockIdx int) int {
+	return c.blocks[blockIdx].nextPage
 }
 
 // ReadPage reads one page, sampling raw bit errors from the block's current
@@ -353,6 +417,18 @@ func (c *Chip) ReadPage(a PageAddr) ([]byte, OpResult, error) {
 	}
 	if a.Page >= b.nextPage {
 		return nil, res, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+	if c.inject != nil {
+		switch c.inject.Inject(OpRead) {
+		case FaultPowerCut:
+			return nil, res, fmt.Errorf("%w: read %v", ErrPowerLoss, a)
+		case FaultRead:
+			c.stats.Reads++
+			b.reads++
+			c.stats.UncorrectableReads++
+			res.BitErrors = c.tcorr + 1
+			return nil, res, fmt.Errorf("%w: %v (injected transient)", ErrUncorrectable, a)
+		}
 	}
 	c.stats.Reads++
 	b.reads++
@@ -386,6 +462,13 @@ func (c *Chip) EraseBlock(blockIdx int) (OpResult, error) {
 	if b.bad {
 		return res, fmt.Errorf("%w: block %d", ErrBadBlock, blockIdx)
 	}
+	injected := FaultNone
+	if c.inject != nil {
+		injected = c.inject.Inject(OpErase)
+		if injected == FaultPowerCut {
+			return res, fmt.Errorf("%w: erase block %d", ErrPowerLoss, blockIdx)
+		}
+	}
 	c.stats.Erases++
 	now := c.simNow()
 	if c.emodel.HealPerIdleHour > 0 && b.eraseCount > 0 {
@@ -403,7 +486,8 @@ func (c *Chip) EraseBlock(blockIdx int) (OpResult, error) {
 	b.nextPage = 0
 	b.reads = 0
 	b.data = nil
-	if c.rng.Float64() < c.emodel.FailProb(c.Wear(blockIdx)) {
+	b.meta = nil
+	if injected == FaultErase || c.rng.Float64() < c.emodel.FailProb(c.Wear(blockIdx)) {
 		c.stats.EraseFails++
 		return res, fmt.Errorf("%w: block %d", ErrEraseFail, blockIdx)
 	}

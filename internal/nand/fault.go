@@ -1,0 +1,53 @@
+package nand
+
+import "errors"
+
+// ErrPowerLoss is returned when power drops before an operation latches,
+// and by every subsequent operation until power is restored. Unlike the
+// other chip errors it implies nothing about the block: the operation
+// simply never happened.
+var ErrPowerLoss = errors.New("nand: power lost")
+
+// Op identifies the kind of chip operation a fault injector is consulted
+// about.
+type Op int
+
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+)
+
+// Fault is an injector's verdict for one operation.
+type Fault int
+
+const (
+	// FaultNone lets the operation proceed normally.
+	FaultNone Fault = iota
+	// FaultRead makes this read return ErrUncorrectable — a transient
+	// ECC overflow. The page's data is intact; a retry may succeed.
+	FaultRead
+	// FaultProgram makes the program fail exactly like an organic
+	// ErrProgramFail: the page is consumed and unusable until erase.
+	FaultProgram
+	// FaultErase makes the erase fail exactly like an organic
+	// ErrEraseFail: the cycle is consumed and the caller should retire
+	// the block.
+	FaultErase
+	// FaultPowerCut drops power before the operation latches: nothing on
+	// the chip mutates, the operation returns ErrPowerLoss, and so does
+	// every later operation until the injector reports power restored.
+	FaultPowerCut
+)
+
+// FaultInjector decides, per operation, whether to inject a fault. A chip
+// with a nil injector pays a single pointer comparison per operation; the
+// hot path is otherwise untouched.
+//
+// Down gates persistent side effects that are not operations (MarkBad):
+// while power is cut, firmware cannot persist anything, so the chip
+// ignores such requests.
+type FaultInjector interface {
+	Inject(op Op) Fault
+	Down() bool
+}

@@ -104,6 +104,37 @@ func (s *FileSet) Step(budget int64) (int64, error) {
 	return written, nil
 }
 
+// Reattach re-opens the set's files by path on fsys — used after a crash
+// or power-loss remount invalidates the previous mount's handles. A file
+// whose creation did not survive the crash (the cut landed mid-Setup) is
+// recreated empty; no refill is needed, because WriteAt extends short
+// files on demand and the rewrite workload never reads its own data.
+func (s *FileSet) Reattach(fsys fs.FileSystem) error {
+	if s.buf == nil {
+		return fmt.Errorf("workload: fileset: Setup not called")
+	}
+	s.FS = fsys
+	files := make([]fs.File, 0, s.NumFiles)
+	for i := 0; i < s.NumFiles; i++ {
+		path := fmt.Sprintf("%s/wear%02d.dat", s.Dir, i)
+		f, err := fsys.Open(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			if s.Dir != "/" && s.Dir != "" {
+				if err := fsys.Mkdir(s.Dir); err != nil && !errors.Is(err, fs.ErrExist) {
+					return fmt.Errorf("workload: fileset: reattach: %w", err)
+				}
+			}
+			f, err = fsys.Create(path)
+		}
+		if err != nil {
+			return fmt.Errorf("workload: fileset: reattach %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	s.files = files
+	return nil
+}
+
 // Close closes the files.
 func (s *FileSet) Close() error {
 	for _, f := range s.files {
