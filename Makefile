@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench faults check
+.PHONY: all build vet test race bench faults wtrace check
 
 all: build
 
@@ -13,11 +13,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# A short -race pass over the one concurrent subsystem: the fleet
-# determinism test runs the same 64-device population at 4 workers and at
-# 1 and requires byte-identical aggregates (DESIGN.md §6).
+# A short -race pass over the concurrent subsystems: the fleet
+# determinism tests run the same 64-device population at 4 workers and at
+# 1 and require byte-identical aggregates — including the merged wear
+# ledger (DESIGN.md §6, §9) — plus the telemetry registry and wtrace
+# ledger under concurrent registration/emission.
 race:
 	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
+	$(GO) test -race -count=1 -run 'TestRegistryConcurrent|TestWtraceCollector' ./internal/telemetry/
+	$(GO) test -race -count=1 -run TestConcurrentLedger ./internal/wtrace/
 
 # The fault matrix under -race: randomized power-cut/remount recovery,
 # program/erase-failure handling, graceful EOL, the faulty-flash crash
@@ -34,5 +38,23 @@ faults:
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .
 
+# End-to-end wear-attribution smoke (DESIGN.md §9): run the CLIs with
+# tracing on, then validate every artifact with wtracecheck — the ledger's
+# decomposition identities and the Chrome trace's well-formedness — and
+# require the fleet ledger to be byte-identical across worker counts.
+# Artifacts land in wtrace-out/ (CI uploads them).
+wtrace:
+	rm -rf wtrace-out && mkdir -p wtrace-out
+	$(GO) build -o wtrace-out/ ./cmd/flashsim ./cmd/fleetsim ./cmd/wtracecheck
+	./wtrace-out/flashsim -device "eMMC 8GB" -scale 2048 -gib 0.2 -fill 0.3 \
+		-wear-ledger wtrace-out/flashsim-ledger.csv -wear-trace wtrace-out/flashsim-trace.json >/dev/null
+	./wtrace-out/fleetsim -devices 12 -days 2 -scale 16384 -seed 7 -quiet -workers 1 \
+		-wear-trace wtrace-out/fleet-ledger-w1.csv >/dev/null
+	./wtrace-out/fleetsim -devices 12 -days 2 -scale 16384 -seed 7 -quiet -workers 4 \
+		-wear-trace wtrace-out/fleet-ledger-w4.csv >/dev/null
+	cmp wtrace-out/fleet-ledger-w1.csv wtrace-out/fleet-ledger-w4.csv
+	./wtrace-out/wtracecheck -ledger wtrace-out/flashsim-ledger.csv -trace wtrace-out/flashsim-trace.json
+	./wtrace-out/wtracecheck -ledger wtrace-out/fleet-ledger-w1.csv
+
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet build test race faults
+check: vet build test race faults wtrace

@@ -25,11 +25,13 @@ import (
 	"flashwear/internal/device"
 	"flashwear/internal/faultinject"
 	"flashwear/internal/ftl"
+	"flashwear/internal/profiling"
 	"flashwear/internal/report"
 	"flashwear/internal/simclock"
 	"flashwear/internal/telemetry"
 	"flashwear/internal/trace"
 	"flashwear/internal/workload"
+	"flashwear/internal/wtrace"
 )
 
 // Exit codes: the wear outcomes get their own so scripts can tell a clean
@@ -42,8 +44,15 @@ const (
 	exitReadOnly = 4
 )
 
+// stopCPU, when non-nil, finishes the -pprof-cpu profile; fail routes
+// through it because os.Exit skips defers.
+var stopCPU func() error
+
 // fail prints err and exits with code.
 func fail(code int, err error) {
+	if stopCPU != nil {
+		stopCPU()
+	}
 	fmt.Fprintln(os.Stderr, "flashsim:", err)
 	os.Exit(code)
 }
@@ -62,7 +71,19 @@ func main() {
 	metricsEvery := flag.Duration("metrics-every", 10*time.Second, "simulated sampling cadence for -metrics-csv")
 	faultPlan := flag.String("fault-plan", "", "deterministic fault plan, e.g. \"seed=7,read=1e-4,program=1e-5,cut-every=100000\"")
 	powerCut := flag.Float64("power-cut", 0, "cut power once after this fraction of -gib, then power-cycle and continue")
+	wearTrace := flag.String("wear-trace", "", "write a Chrome trace-event JSON of the run here (chrome://tracing, Perfetto)")
+	wearLedger := flag.String("wear-ledger", "", "write the per-origin wear ledger here (\"-\" = stdout, .json for JSON)")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the simulator to this file")
+	pprofHeap := flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *pprofCPU != "" {
+		stop, err := profiling.StartCPU(*pprofCPU)
+		if err != nil {
+			fail(exitError, err)
+		}
+		stopCPU = stop
+	}
 
 	if *list {
 		tbl := report.NewTable("Calibrated device profiles (§4.1)",
@@ -99,6 +120,17 @@ func main() {
 	if err != nil {
 		fail(exitError, err)
 	}
+	// Wear attribution attaches at device birth: the -fill pre-fill runs as
+	// origin "os", the write pattern as "workload", and the ledger accounts
+	// every NAND program and erase between them.
+	var tr *wtrace.Tracer
+	if *wearTrace != "" || *wearLedger != "" {
+		tr = wtrace.New()
+		if *wearTrace != "" {
+			tr.EnableEvents(0)
+		}
+		dev.EnableWearTrace(tr)
+	}
 	// Telemetry attaches at device birth — before the pre-fill — so push
 	// and pull counters agree; the sampler runs on the simulated clock, so
 	// the series is a pure function of the flags.
@@ -134,6 +166,10 @@ func main() {
 	start := clock.Now()
 	var written int64
 	var recoveries int
+	if tr != nil {
+		// Everything from here on is the measured workload.
+		tr.SetOrigin(tr.Origin("workload"))
+	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -228,6 +264,37 @@ func main() {
 	if recoveries > 0 {
 		fmt.Printf("Power-loss recoveries: %d (every acknowledged write survived or the run would have failed)\n", recoveries)
 	}
+	if tr != nil {
+		snap := tr.Ledger().Snapshot()
+		if *wearLedger != "" {
+			if err := writeLedger(*wearLedger, snap); err != nil {
+				fail(exitError, fmt.Errorf("wear ledger: %w", err))
+			}
+		}
+		if *wearTrace != "" {
+			if err := writeTo(*wearTrace, func(w *os.File) error {
+				return wtrace.WriteChrome(w, tr.Process(prof.Name))
+			}); err != nil {
+				fail(exitError, fmt.Errorf("wear trace: %w", err))
+			}
+		}
+		if top := snap.Top(); top != "" {
+			t := snap.Totals()
+			fmt.Printf("Wear attribution: top origin %q; %s physical / %s host across %d origins\n",
+				top, report.HumanBytes(t.PhysBytes), report.HumanBytes(t.HostBytes), len(snap.Rows))
+		}
+	}
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "flashsim:", err)
+		}
+		stopCPU = nil
+	}
+	if *pprofHeap != "" {
+		if err := profiling.WriteHeap(*pprofHeap); err != nil {
+			fail(exitError, err)
+		}
+	}
 	switch {
 	case dev.Bricked():
 		fmt.Println("DEVICE BRICKED")
@@ -236,6 +303,32 @@ func main() {
 		fmt.Println("DEVICE READ-ONLY (graceful EOL: data preserved, writes refused)")
 		os.Exit(exitReadOnly)
 	}
+}
+
+// writeTo writes via fn to the file at path, or stdout for "-".
+func writeTo(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeLedger writes the wear ledger to path — JSON when the path ends in
+// .json, the TOTAL-checked CSV otherwise; "-" means CSV on stdout.
+func writeLedger(path string, snap wtrace.Snapshot) error {
+	render := snap.WriteCSV
+	if strings.HasSuffix(path, ".json") {
+		render = snap.WriteJSON
+	}
+	return writeTo(path, func(f *os.File) error { return render(f) })
 }
 
 // writeSeries writes the sampled series to path — JSON when the path ends

@@ -25,9 +25,13 @@ import (
 	"sync"
 	"time"
 
+	"strings"
+
 	"flashwear/internal/faultinject"
 	"flashwear/internal/fleet"
+	"flashwear/internal/profiling"
 	"flashwear/internal/report"
+	"flashwear/internal/telemetry"
 )
 
 func main() {
@@ -44,7 +48,28 @@ func main() {
 	metricsEvery := flag.Duration("metrics-every", 24*time.Hour, "full-scale sampling cadence for -metrics-csv")
 	faultPlan := flag.String("fault-plan", "", "per-device hardware fault plan (re-seeded per device), e.g. \"seed=7,read=1e-4,cut-every=100000\"")
 	quiet := flag.Bool("quiet", false, "suppress progress output on stderr")
+	wearTrace := flag.String("wear-trace", "", "write the merged per-origin wear ledger to this path (\"-\" = stdout, .json for JSON); byte-identical across -workers")
+	progress := flag.Duration("progress", 0, "print a done/bricked/read-only line to stderr at this wall-clock interval")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the run to this file")
+	pprofHeap := flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	var stopCPU func() error
+	if *pprofCPU != "" {
+		stop, err := profiling.StartCPU(*pprofCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	fail := func(err error) {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
 
 	if *buggy < 0 || *attack < 0 || *buggy+*attack > 1 {
 		fmt.Fprintln(os.Stderr, "fleetsim: -buggy and -attack must be non-negative and sum to at most 1")
@@ -60,13 +85,14 @@ func main() {
 		plan = &p
 	}
 	spec := fleet.Spec{
-		Devices:  *devices,
-		Workers:  *workers,
-		Seed:     *seed,
-		Days:     *days,
-		Scale:    *scale,
-		ReqBytes: *req,
-		Faults:   plan,
+		Devices:   *devices,
+		Workers:   *workers,
+		Seed:      *seed,
+		Days:      *days,
+		Scale:     *scale,
+		ReqBytes:  *req,
+		Faults:    plan,
+		WearTrace: *wearTrace != "",
 		Classes: []fleet.ClassWeight{
 			{Class: fleet.ClassBenign, Weight: 1 - *buggy - *attack},
 			{Class: fleet.ClassBuggy, Weight: *buggy},
@@ -95,27 +121,89 @@ func main() {
 		}
 	}
 
+	// -progress: a wall-clock ticker over the live per-worker counters.
+	// These are schedule-dependent monitoring output (stderr only); the
+	// deterministic results never pass through this registry.
+	var stopProgress func()
+	if *progress > 0 {
+		reg := telemetry.NewRegistry()
+		spec.Telemetry = reg
+		ticker := time.NewTicker(*progress)
+		quitCh := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-quitCh:
+					return
+				case <-ticker.C:
+					done, bricked, ro := sumProgress(reg)
+					fmt.Fprintf(os.Stderr, "fleetsim: progress: %d/%d done, %d bricked, %d read-only\n",
+						done, *devices, bricked, ro)
+				}
+			}
+		}()
+		stopProgress = func() {
+			ticker.Stop()
+			close(quitCh)
+		}
+	}
+
 	res, err := fleet.Run(context.Background(), spec)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fleetsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	render(os.Stdout, res)
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, res); err != nil {
-			fmt.Fprintln(os.Stderr, "fleetsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	if *metricsCSV != "" {
 		if err := writeTo(*metricsCSV, res.WriteMetricsCSV); err != nil {
+			fail(err)
+		}
+	}
+	if *wearTrace != "" {
+		renderWear := res.WriteWearCSV
+		if strings.HasSuffix(*wearTrace, ".json") {
+			renderWear = res.Wear.WriteJSON
+		}
+		if err := writeTo(*wearTrace, renderWear); err != nil {
+			fail(err)
+		}
+	}
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
 			fmt.Fprintln(os.Stderr, "fleetsim:", err)
-			os.Exit(1)
+		}
+		stopCPU = nil
+	}
+	if *pprofHeap != "" {
+		if err := profiling.WriteHeap(*pprofHeap); err != nil {
+			fail(err)
 		}
 	}
 	if res.Failed > 0 {
 		os.Exit(3)
 	}
+}
+
+// sumProgress totals the live per-worker counters in reg.
+func sumProgress(reg *telemetry.Registry) (done, bricked, readOnly int64) {
+	for _, p := range reg.Snapshot(0).Points {
+		switch {
+		case strings.HasPrefix(p.Name, "fleet.devices_done"):
+			done += p.Int
+		case strings.HasPrefix(p.Name, "fleet.bricks"):
+			bricked += p.Int
+		case strings.HasPrefix(p.Name, "fleet.read_only"):
+			readOnly += p.Int
+		}
+	}
+	return done, bricked, readOnly
 }
 
 // writeTo writes via fn to path, or stdout for "-".

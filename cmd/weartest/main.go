@@ -22,8 +22,10 @@ import (
 
 	"flashwear/internal/experiments"
 	"flashwear/internal/ftl"
+	"flashwear/internal/profiling"
 	"flashwear/internal/report"
 	"flashwear/internal/telemetry"
+	"flashwear/internal/wtrace"
 )
 
 func main() {
@@ -35,7 +37,21 @@ func main() {
 	maxLevel := flag.Int("maxlevel", 11, "stop once the Type B indicator reaches this level")
 	metricsCSV := flag.String("metrics-csv", "", "write sampled per-run telemetry here in long form (\"-\" = stdout)")
 	metricsEvery := flag.Duration("metrics-every", 24*time.Hour, "full-scale sampling cadence for -metrics-csv")
+	wearLedger := flag.String("wear-ledger", "", "write per-run wear-attribution ledgers here as labeled CSV (\"-\" = stdout)")
+	wearTrace := flag.String("wear-trace", "", "write a combined Chrome trace-event JSON (one process per run) here")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the simulator to this file")
+	pprofHeap := flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	var stopCPU func() error
+	if *pprofCPU != "" {
+		stop, err := profiling.StartCPU(*pprofCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weartest:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
 
 	cfg := experiments.Config{
 		Scale:    *scale,
@@ -62,8 +78,34 @@ func main() {
 
 	ran := false
 	fail := func(err error) {
+		if stopCPU != nil {
+			stopCPU()
+		}
 		fmt.Fprintln(os.Stderr, "weartest:", err)
 		os.Exit(1)
+	}
+
+	// Wear attribution: every wear run hands its tracer over when it ends;
+	// ledgers stream out as labeled CSV, Chrome processes collect for one
+	// combined trace file (one process per run).
+	var ww *wearWriter
+	if *wearLedger != "" || *wearTrace != "" {
+		ww = &wearWriter{ledgerPath: *wearLedger}
+		if *wearLedger != "" && *wearLedger != "-" {
+			f, err := os.Create(*wearLedger)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			ww.ledger = f
+		} else if *wearLedger == "-" {
+			ww.ledger = os.Stdout
+		}
+		cfg.WearSink = ww.sink
+		if *wearTrace != "" {
+			cfg.WearEvents = 1 << 20
+			ww.collect = true
+		}
 	}
 
 	switch *fig {
@@ -163,9 +205,61 @@ func main() {
 		tbl.Render(os.Stdout)
 	}
 
+	if ww != nil && *wearTrace != "" {
+		f, err := os.Create(*wearTrace)
+		if err != nil {
+			fail(err)
+		}
+		err = wtrace.WriteChrome(f, ww.procs...)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "weartest:", err)
+		}
+	}
+	if *pprofHeap != "" {
+		if err := profiling.WriteHeap(*pprofHeap); err != nil {
+			fmt.Fprintln(os.Stderr, "weartest:", err)
+			os.Exit(1)
+		}
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// wearWriter receives each wear run's tracer: ledgers stream to one
+// labeled CSV (counts multiplied back to full scale), Chrome processes
+// accumulate for the combined trace file.
+type wearWriter struct {
+	ledgerPath string
+	ledger     io.Writer
+	headerDone bool
+	collect    bool
+	procs      []wtrace.ProcessTrace
+}
+
+func (ww *wearWriter) sink(label string, eff int64, tr *wtrace.Tracer) {
+	if ww.ledger != nil {
+		snap := tr.Ledger().Snapshot()
+		snap.Scale(eff)
+		if err := snap.WriteLabeledCSV(ww.ledger, label, !ww.headerDone); err != nil {
+			fmt.Fprintln(os.Stderr, "weartest: wear ledger:", err)
+		}
+		ww.headerDone = true
+	}
+	if ww.collect {
+		p := tr.Process(label)
+		p.Pid = len(ww.procs) + 1
+		ww.procs = append(ww.procs, p)
 	}
 }
 

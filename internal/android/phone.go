@@ -11,6 +11,7 @@ import (
 	"flashwear/internal/fs/extfs"
 	"flashwear/internal/fs/f2fs"
 	"flashwear/internal/simclock"
+	"flashwear/internal/wtrace"
 )
 
 // FSKind selects the phone's file system (§4.1: most phones use Ext4, the
@@ -35,6 +36,12 @@ type Config struct {
 	// installed at the OS layer). It is consulted with the app name and
 	// byte count before each write reaches the FS.
 	Throttle func(app string, bytes int64, now time.Duration) time.Duration
+	// WearTrace, when non-nil, attaches causal wear attribution: every
+	// installed app becomes a wtrace origin, and each sandbox operation
+	// runs under that app's tag so the wear it causes — all the way down
+	// to NAND erases — lands in the app's ledger row. mkfs/mount and FS
+	// background work stay on origin 0 ("os").
+	WearTrace *wtrace.Tracer
 }
 
 // Phone is a simulated handset: a flash device, a file system, apps with
@@ -73,6 +80,11 @@ func NewPhone(cfg Config, clock *simclock.Clock) (*Phone, error) {
 	dev, err := device.New(cfg.Profile, clock)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.WearTrace != nil {
+		// Before mkfs, so attribution state is born with the flash state;
+		// the format itself runs untagged (origin 0, "os").
+		dev.EnableWearTrace(cfg.WearTrace)
 	}
 	opts := fs.Options{DataAccounting: !cfg.RetainData}
 	var fsys fs.FileSystem
@@ -155,11 +167,17 @@ func (p *Phone) InstallApp(name string) (*App, error) {
 	if _, ok := p.apps[name]; ok {
 		return nil, fmt.Errorf("android: app %q already installed", name)
 	}
+	var org wtrace.Origin
+	if tr := p.cfg.WearTrace; tr != nil {
+		org = tr.Origin(name)
+		prev := tr.SetOrigin(org)
+		defer tr.SetOrigin(prev)
+	}
 	root := "/data/" + name
 	if err := p.fsys.Mkdir(root); err != nil {
 		return nil, err
 	}
-	app := &App{name: name, phone: p, storage: &sandboxFS{phone: p, app: name, root: root}}
+	app := &App{name: name, phone: p, storage: &sandboxFS{phone: p, app: name, root: root, org: org}}
 	p.apps[name] = app
 	p.stats[name] = &IOStats{}
 	return app, nil
@@ -180,6 +198,23 @@ func (p *Phone) Shutdown() error {
 		p.stopMon = nil
 	}
 	return p.fsys.Unmount()
+}
+
+// orgEnter/orgExit bracket a sandbox operation with the app's wear-trace
+// origin (no-ops when tracing is off). Everything the operation causes
+// below the FS inherits the tag ambiently.
+
+func (p *Phone) orgEnter(org wtrace.Origin) wtrace.Origin {
+	if p.cfg.WearTrace == nil {
+		return 0
+	}
+	return p.cfg.WearTrace.SetOrigin(org)
+}
+
+func (p *Phone) orgExit(prev wtrace.Origin) {
+	if p.cfg.WearTrace != nil {
+		p.cfg.WearTrace.SetOrigin(prev)
+	}
 }
 
 // accounting hooks called by the sandbox.

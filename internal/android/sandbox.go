@@ -2,15 +2,20 @@ package android
 
 import (
 	"flashwear/internal/fs"
+	"flashwear/internal/wtrace"
 )
 
 // sandboxFS is the view an app gets of storage: its private directory,
 // reachable with no permissions at all (§4.4: "our application required no
-// special permissions"), with every operation accounted to the app.
+// special permissions"), with every operation accounted to the app. When
+// wear tracing is on, every mutating operation also runs under the app's
+// origin tag, so the wear it causes is attributed to the app. Read paths
+// are left untagged — reads cannot program NAND.
 type sandboxFS struct {
 	phone *Phone
 	app   string
-	root  string // e.g. "/data/com.example.wear"
+	root  string        // e.g. "/data/com.example.wear"
+	org   wtrace.Origin // the app's wear-trace origin (0 when tracing off)
 }
 
 func (s *sandboxFS) path(p string) string { return s.root + "/" + trimSlashes(p) }
@@ -27,11 +32,13 @@ func (s *sandboxFS) Name() string { return s.phone.fsys.Name() }
 
 // Create implements fs.FileSystem.
 func (s *sandboxFS) Create(path string) (fs.File, error) {
+	prev := s.phone.orgEnter(s.org)
 	f, err := s.phone.fsys.Create(s.path(path))
+	s.phone.orgExit(prev)
 	if err != nil {
 		return nil, err
 	}
-	return &sandboxFile{File: f, phone: s.phone, app: s.app}, nil
+	return &sandboxFile{File: f, phone: s.phone, app: s.app, org: s.org}, nil
 }
 
 // Open implements fs.FileSystem.
@@ -40,19 +47,32 @@ func (s *sandboxFS) Open(path string) (fs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sandboxFile{File: f, phone: s.phone, app: s.app}, nil
+	return &sandboxFile{File: f, phone: s.phone, app: s.app, org: s.org}, nil
 }
 
 // Remove implements fs.FileSystem.
-func (s *sandboxFS) Remove(path string) error { return s.phone.fsys.Remove(s.path(path)) }
+func (s *sandboxFS) Remove(path string) error {
+	prev := s.phone.orgEnter(s.org)
+	err := s.phone.fsys.Remove(s.path(path))
+	s.phone.orgExit(prev)
+	return err
+}
 
 // Rename implements fs.FileSystem; both paths are confined to the sandbox.
 func (s *sandboxFS) Rename(oldPath, newPath string) error {
-	return s.phone.fsys.Rename(s.path(oldPath), s.path(newPath))
+	prev := s.phone.orgEnter(s.org)
+	err := s.phone.fsys.Rename(s.path(oldPath), s.path(newPath))
+	s.phone.orgExit(prev)
+	return err
 }
 
 // Mkdir implements fs.FileSystem.
-func (s *sandboxFS) Mkdir(path string) error { return s.phone.fsys.Mkdir(s.path(path)) }
+func (s *sandboxFS) Mkdir(path string) error {
+	prev := s.phone.orgEnter(s.org)
+	err := s.phone.fsys.Mkdir(s.path(path))
+	s.phone.orgExit(prev)
+	return err
+}
 
 // ReadDir implements fs.FileSystem.
 func (s *sandboxFS) ReadDir(path string) ([]fs.DirEntry, error) {
@@ -64,25 +84,33 @@ func (s *sandboxFS) Stat(path string) (fs.FileInfo, error) {
 	return s.phone.fsys.Stat(s.path(path))
 }
 
-// Sync implements fs.FileSystem.
+// Sync implements fs.FileSystem. The whole-FS sync flushes metadata the
+// app dirtied, so it runs under the app's tag.
 func (s *sandboxFS) Sync() error {
 	s.phone.accountSync(s.app)
-	return s.phone.fsys.Sync()
+	prev := s.phone.orgEnter(s.org)
+	err := s.phone.fsys.Sync()
+	s.phone.orgExit(prev)
+	return err
 }
 
 // Unmount is not permitted from a sandbox.
 func (s *sandboxFS) Unmount() error { return fs.ErrReadOnly }
 
-// sandboxFile wraps a file with per-app accounting and monitor hooks.
+// sandboxFile wraps a file with per-app accounting, monitor hooks, and
+// wear-trace origin tagging.
 type sandboxFile struct {
 	fs.File
 	phone *Phone
 	app   string
+	org   wtrace.Origin
 }
 
 // WriteAt implements fs.File.
 func (f *sandboxFile) WriteAt(p []byte, off int64) (int, error) {
+	prev := f.phone.orgEnter(f.org)
 	n, err := f.File.WriteAt(p, off)
+	f.phone.orgExit(prev)
 	if n > 0 {
 		f.phone.accountWrite(f.app, int64(n))
 	}
@@ -98,10 +126,29 @@ func (f *sandboxFile) ReadAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
+// Truncate implements fs.File.
+func (f *sandboxFile) Truncate(size int64) error {
+	prev := f.phone.orgEnter(f.org)
+	err := f.File.Truncate(size)
+	f.phone.orgExit(prev)
+	return err
+}
+
 // Sync implements fs.File.
 func (f *sandboxFile) Sync() error {
 	f.phone.accountSync(f.app)
-	return f.File.Sync()
+	prev := f.phone.orgEnter(f.org)
+	err := f.File.Sync()
+	f.phone.orgExit(prev)
+	return err
+}
+
+// Close implements fs.File; closing can flush dirty state.
+func (f *sandboxFile) Close() error {
+	prev := f.phone.orgEnter(f.org)
+	err := f.File.Close()
+	f.phone.orgExit(prev)
+	return err
 }
 
 var _ fs.FileSystem = (*sandboxFS)(nil)

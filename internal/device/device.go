@@ -11,6 +11,7 @@ import (
 	"flashwear/internal/ftl"
 	"flashwear/internal/nand"
 	"flashwear/internal/simclock"
+	"flashwear/internal/wtrace"
 )
 
 // ErrBricked is returned once the device has failed permanently.
@@ -41,6 +42,9 @@ type Device struct {
 
 	// Block-mapped (MicroSD) append tracking per allocation unit.
 	auAppend map[int64]int64
+
+	// tr is the optional wear-attribution tracer (nil = tracing off).
+	tr *wtrace.Tracer
 
 	bytesWritten int64
 	bytesRead    int64
@@ -143,6 +147,21 @@ func (d *Device) FTL() *ftl.FTL { return d.f }
 
 // Clock returns the device's simulated clock.
 func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// EnableWearTrace attaches a wear-attribution tracer to the device stack
+// (nil detaches). Like telemetry, it should attach at device birth —
+// before mkfs — so attribution state starts alongside the flash state.
+// The tracer's event clock is wired to the device's simulated clock.
+func (d *Device) EnableWearTrace(tr *wtrace.Tracer) {
+	d.tr = tr
+	if tr != nil {
+		tr.Now = d.clock.Now
+	}
+	d.f.SetTracer(tr)
+}
+
+// WearTracer returns the attached tracer, or nil.
+func (d *Device) WearTracer() *wtrace.Tracer { return d.tr }
 
 // Size implements blockdev.Device; it reports the exported capacity.
 func (d *Device) Size() int64 { return d.f.Capacity() }
@@ -332,6 +351,10 @@ func (d *Device) write(off, length int64, payload []byte) error {
 		total.Add(d.usdPenalty(off, length))
 	}
 
+	var evStart time.Duration
+	if d.tr != nil && d.tr.EventsEnabled() {
+		evStart = d.clock.Now()
+	}
 	reqBytes := int(length)
 	first, last := d.pageRange(off, length)
 	for pg := first; pg <= last; pg++ {
@@ -368,6 +391,9 @@ func (d *Device) write(off, length int64, payload []byte) error {
 	}
 	d.bytesWritten += length
 	d.advance(total, length)
+	if d.tr != nil {
+		d.tr.EventHostWrite(off, length, evStart, d.clock.Now()-evStart)
+	}
 	return nil
 }
 

@@ -46,6 +46,9 @@ func (d *Device) Instrument(reg *telemetry.Registry) {
 	if d.inj != nil {
 		d.inj.Instrument(reg)
 	}
+	if d.tr != nil {
+		d.tr.Attach(reg)
+	}
 	reg.GaugeFunc(telemetry.Name("device.wear_level", "pool", "a"), func() float64 {
 		return float64(d.f.WearIndicator(ftl.PoolA))
 	})

@@ -22,6 +22,7 @@ import (
 	"flashwear/internal/ftl"
 	"flashwear/internal/simclock"
 	"flashwear/internal/telemetry"
+	"flashwear/internal/wtrace"
 )
 
 // Config controls experiment cost.
@@ -41,6 +42,14 @@ type Config struct {
 	// MetricsSink receives each run's sampled series; series times are at
 	// device scale, so full-scale hours are row.At.Hours() * eff.
 	MetricsSink func(label string, eff int64, series *telemetry.Series)
+	// WearSink, when non-nil, attaches a wtrace tracer to each wear run's
+	// device (at birth, before mkfs) and hands it over when the run ends.
+	// Setup runs as origin "os", the attack workload as "workload"; ledger
+	// counts are device-scale — multiply by eff for full scale.
+	WearSink func(label string, eff int64, tr *wtrace.Tracer)
+	// WearEvents, when positive, also buffers up to this many Chrome trace
+	// events on the tracer handed to WearSink.
+	WearEvents int
 }
 
 // Defaults fills zero fields: scale 256, run to level 11.
@@ -121,6 +130,16 @@ func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.Run
 	// include the file-system fill (DESIGN.md §7). The sampler starts only
 	// after every instrument is registered (a sample firing mid-mkfs would
 	// otherwise freeze the series' column layout too early).
+	// Wear tracing also attaches at birth, so mkfs and the FS fill land on
+	// origin "os" and everything else is attributable from the first write.
+	var tr *wtrace.Tracer
+	if cfg.WearSink != nil {
+		tr = wtrace.New()
+		if cfg.WearEvents > 0 {
+			tr.EnableEvents(cfg.WearEvents)
+		}
+		dev.EnableWearTrace(tr)
+	}
 	var reg *telemetry.Registry
 	if cfg.MetricsEvery > 0 && cfg.MetricsSink != nil {
 		reg = telemetry.NewRegistry()
@@ -129,6 +148,9 @@ func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.Run
 	fsys, err := mountFS(dev, kind)
 	if err != nil {
 		return core.RunReport{}, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+	}
+	if tr != nil {
+		fsys = wtrace.TagFS(fsys, tr, tr.Origin("workload"))
 	}
 	var sampler *telemetry.Sampler
 	if reg != nil {
@@ -157,6 +179,9 @@ func runFileWear(prof device.Profile, kind android.FSKind, cfg Config) (core.Run
 		sampler.Stop()
 		sampler.Final()
 		cfg.MetricsSink(fmt.Sprintf("%s/%s", prof.Name, kind), eff, sampler.Series())
+	}
+	if tr != nil {
+		cfg.WearSink(fmt.Sprintf("%s/%s", prof.Name, kind), eff, tr)
 	}
 	return runner.Report(), nil
 }

@@ -36,8 +36,10 @@ package fleet
 
 import (
 	"fmt"
+	"io"
 
 	"flashwear/internal/report"
+	"flashwear/internal/wtrace"
 )
 
 // Group aggregates outcomes for a slice of the population (one profile, or
@@ -102,6 +104,11 @@ type Accumulator struct {
 	// Metrics is the population wear trajectory sampled every
 	// Spec.MetricsEvery (nil when sampling is disabled).
 	Metrics *MetricsSeries
+	// Wear is the population wear-attribution ledger (nil unless
+	// Spec.WearTrace): the per-origin full-scale wear of every device,
+	// merged by origin name. All counts are integers, so like every other
+	// accumulator field it merges order-independently.
+	Wear *wtrace.Snapshot
 
 	// Failed counts devices whose simulation panicked. The panic is
 	// contained in the worker: the device is recorded here instead of
@@ -128,6 +135,9 @@ func newAccumulator(spec Spec) *Accumulator {
 	if spec.MetricsEvery > 0 {
 		a.Metrics = newMetricsSeries(spec)
 	}
+	if spec.WearTrace {
+		a.Wear = &wtrace.Snapshot{}
+	}
 	return a
 }
 
@@ -153,6 +163,9 @@ func (a *Accumulator) add(r DeviceResult) {
 	a.WriteAmp.Add(r.WA)
 	if a.Metrics != nil && r.metrics != nil {
 		a.Metrics.addDevice(r.metrics)
+	}
+	if a.Wear != nil {
+		a.Wear.Merge(r.wear)
 	}
 }
 
@@ -181,6 +194,9 @@ func (a *Accumulator) merge(o *Accumulator) error {
 			return err
 		}
 	}
+	if a.Wear != nil && o.Wear != nil {
+		a.Wear.Merge(*o.Wear)
+	}
 	for k, g := range o.ByProfile {
 		groupFor(a.ByProfile, k).merge(g)
 	}
@@ -195,4 +211,15 @@ type Result struct {
 	// Spec echoes the run's (defaulted) specification.
 	Spec Spec
 	*Accumulator
+}
+
+// WriteWearCSV writes the population wear-attribution ledger as CSV
+// (wtrace.Snapshot.WriteCSV). The output is a pure function of the Spec —
+// byte-identical across worker counts — because the merged snapshot is.
+// It errors if the run was not traced (Spec.WearTrace unset).
+func (r *Result) WriteWearCSV(w io.Writer) error {
+	if r.Accumulator == nil || r.Wear == nil {
+		return fmt.Errorf("fleet: run has no wear ledger (Spec.WearTrace not set)")
+	}
+	return r.Wear.WriteCSV(w)
 }

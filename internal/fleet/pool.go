@@ -66,11 +66,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		// Live per-worker progress counters: schedule-dependent by nature
 		// (which worker draws which device is a race), so they go to the
 		// caller's monitoring registry, never into the deterministic Result.
-		var doneCtr, brickCtr *telemetry.Counter
+		var doneCtr, brickCtr, roCtr *telemetry.Counter
 		if spec.Telemetry != nil {
 			worker := strconv.Itoa(w)
 			doneCtr = spec.Telemetry.Counter(telemetry.Name("fleet.devices_done", "worker", worker))
 			brickCtr = spec.Telemetry.Counter(telemetry.Name("fleet.bricks", "worker", worker))
+			roCtr = spec.Telemetry.Counter(telemetry.Name("fleet.read_only", "worker", worker))
 		}
 		wg.Add(1)
 		go func() {
@@ -103,6 +104,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 					doneCtr.Inc()
 					if res.Bricked {
 						brickCtr.Inc()
+					}
+					if res.ReadOnly {
+						roCtr.Inc()
 					}
 				}
 				if spec.Progress != nil {

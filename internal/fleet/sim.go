@@ -15,6 +15,7 @@ import (
 	"flashwear/internal/simclock"
 	"flashwear/internal/telemetry"
 	"flashwear/internal/workload"
+	"flashwear/internal/wtrace"
 )
 
 // DeviceResult is the outcome of one simulated phone. Volumes and times
@@ -26,6 +27,9 @@ type DeviceResult struct {
 	Class       Class
 	// Bricked reports device death within the horizon.
 	Bricked bool
+	// ReadOnly reports that the death was the graceful JEDEC read-only
+	// retirement rather than a hard brick (a subset of Bricked deaths).
+	ReadOnly bool
 	// Days is the time from workload start to brick (or to the horizon
 	// for survivors), in full-scale days.
 	Days float64
@@ -42,6 +46,9 @@ type DeviceResult struct {
 	// metrics is the device's padded telemetry row set (nil unless
 	// Spec.MetricsEvery is set); see metrics.go.
 	metrics [][]int64
+	// wear is the device's full-scale wear ledger (zero-value unless
+	// Spec.WearTrace is set).
+	wear wtrace.Snapshot
 }
 
 // remounts counts power-loss recoveries across all devices of all runs —
@@ -101,6 +108,19 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 		return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): %w", p.Index, prof.Name, err)
 	}
 
+	// Wear attribution attaches at device birth like telemetry does: the
+	// mkfs/mount/fill phase runs untagged (origin "os"), and the workload
+	// file set is wrapped so every operation it issues — and all the GC,
+	// wear-leveling, and cache work those writes cause — is charged to the
+	// device's workload class.
+	var tr *wtrace.Tracer
+	var clsOrg wtrace.Origin
+	if spec.WearTrace {
+		tr = wtrace.New()
+		dev.EnableWearTrace(tr)
+		clsOrg = tr.Origin(p.Class.String())
+	}
+
 	// Telemetry attaches at device birth — before mkfs, so the file-system
 	// fill is part of the trajectory — and samples at the scaled cadence:
 	// full-scale MetricsEvery divides by the effective scale exactly as the
@@ -139,9 +159,13 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 			if err := extfs.Mkfs(dev); err != nil {
 				return fmt.Errorf("mkfs: %w", err)
 			}
-			fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
+			mounted, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
 			if err != nil {
 				return fmt.Errorf("mount: %w", err)
+			}
+			var fsys fs.FileSystem = mounted
+			if tr != nil {
+				fsys = wtrace.TagFS(fsys, tr, clsOrg)
 			}
 			set = workload.NewFileSet(fsys, "/app", fileSize, p.Seed+1)
 			set.ReqBytes = spec.ReqBytes
@@ -210,8 +234,12 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 			if err := dev.PowerCycle(); err != nil {
 				return DeviceResult{}, fmt.Errorf("fleet: device %d (%s): power cycle: %w", p.Index, prof.Name, err)
 			}
-			fsys, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
+			mounted, err := extfs.Mount(dev, fs.Options{DataAccounting: true})
 			if err == nil {
+				var fsys fs.FileSystem = mounted
+				if tr != nil {
+					fsys = wtrace.TagFS(fsys, tr, clsOrg)
+				}
 				err = set.Reattach(fsys)
 			}
 			switch {
@@ -252,15 +280,25 @@ func simulateDevice(ctx context.Context, spec Spec, p Params) (DeviceResult, err
 		sampler.Stop()
 		metricRows = coll.finish(metricRowCount(spec), clock.Now())
 	}
-	return DeviceResult{
+	res := DeviceResult{
 		Index:       p.Index,
 		ProfileName: prof.Name,
 		Class:       p.Class,
 		Bricked:     rep.Bricked,
+		ReadOnly:    dev.ReadOnly(),
 		Days:        rep.TotalHours / 24,
 		HostBytes:   dev.BytesWritten() * eff,
 		WearLevel:   dev.FTL().WearIndicator(ftl.PoolB),
 		WA:          rep.FinalWA,
 		metrics:     metricRows,
-	}, nil
+	}
+	if tr != nil {
+		// Scale each integer count back to full scale before aggregation,
+		// exactly as the metrics pipeline does, so the merged fleet ledger
+		// is a pure function of the Spec (DESIGN.md §6).
+		snap := tr.Ledger().Snapshot()
+		snap.Scale(eff)
+		res.wear = snap
+	}
+	return res, nil
 }

@@ -98,10 +98,18 @@ type Spec struct {
 	// a pure function of the Spec — determinism is preserved.
 	Faults *faultinject.Plan
 	// Telemetry, if non-nil, receives live per-worker progress counters
-	// (fleet.devices_done{worker=N}, fleet.bricks{worker=N}). Unlike
-	// Result.Metrics these depend on the schedule; they exist for
-	// monitoring a run, not for reproducible output.
+	// (fleet.devices_done{worker=N}, fleet.bricks{worker=N},
+	// fleet.read_only{worker=N}). Unlike Result.Metrics these depend on
+	// the schedule; they exist for monitoring a run, not for reproducible
+	// output.
 	Telemetry *telemetry.Registry
+	// WearTrace, when true, attaches a wear-attribution tracer to every
+	// device: setup (mkfs/mount/initial fill) runs as origin "os", the
+	// workload as its class name, and the per-origin ledgers — scaled to
+	// full-scale volumes like everything else — merge by origin name into
+	// Result.Wear. Merging is integer-additive, so the ledger is a pure
+	// function of the Spec, byte-identical across Workers (DESIGN.md §6).
+	WearTrace bool
 }
 
 // DefaultProfileMix is a phone-population mix over the calibrated

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"flashwear/internal/nand"
+	"flashwear/internal/wtrace"
 )
 
 // cachePool models the small high-endurance "Type A" memory as firmware
@@ -34,6 +35,11 @@ type cachePool struct {
 	gseq        *int64
 	stats       *Stats
 	readRetries int
+
+	// tr/orgs: wear attribution, as in gcPool. orgs mirrors rmap with
+	// each physical page's writing origin; nil when tracing is off.
+	tr   *wtrace.Tracer
+	orgs []wtrace.Origin
 }
 
 func newCachePool(chip *nand.Chip) *cachePool {
@@ -77,7 +83,9 @@ func (c *cachePool) hasFreeSlot() bool {
 }
 
 // program appends one page at the head. Callers must check hasFreeSlot.
-func (c *cachePool) program(lp int32, data []byte, cost *Cost) (loc, error) {
+// org attributes the program for the wear ledger; a cache absorb always
+// carries host data, so the cause is host.
+func (c *cachePool) program(lp int32, data []byte, cost *Cost, org wtrace.Origin) (loc, error) {
 	for attempts := 0; attempts < 4; attempts++ {
 		if !c.hasFreeSlot() {
 			return noLoc, ErrNoSpace
@@ -90,9 +98,15 @@ func (c *cachePool) program(lp int32, data []byte, cost *Cost) (loc, error) {
 		b := c.ring[c.head]
 		addr := nand.PageAddr{Block: b, Page: c.headPage}
 		*c.gseq++
-		_, err := c.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *c.gseq})
+		_, err := c.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *c.gseq, Org: uint16(org)})
 		cost.Programs++
 		c.headPage++
+		// Same contract as gcPool.program: attribute iff the chip counted
+		// (success or program failure; never power cuts).
+		if c.tr != nil && (err == nil || errors.Is(err, nand.ErrProgramFail)) {
+			c.orgs[b*c.ppb+addr.Page] = org
+			c.tr.NoteProgram(org, wtrace.CauseHost)
+		}
 		if err == nil {
 			c.rmap[b*c.ppb+addr.Page] = lp
 			c.valid[b]++
@@ -131,10 +145,10 @@ func (c *cachePool) read(l loc, cost *Cost) ([]byte, error) {
 }
 
 // drainOne advances the tail scan by one page. If that page is still valid,
-// it returns its logical page and payload for the owner to rewrite into the
-// main pool; otherwise (dead page, or nothing to drain) it returns lp = -1.
-// Fully scanned tail blocks are erased and rejoin the ring.
-func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
+// it returns its logical page, payload, and owning origin for the owner to
+// rewrite into the main pool; otherwise (dead page, or nothing to drain) it
+// returns lp = -1. Fully scanned tail blocks are erased and rejoin the ring.
+func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, org wtrace.Origin, err error) {
 	if c.tailPage >= c.ppb {
 		// A fully scanned tail block is erased lazily, on the *next* drain
 		// call: erasing it in the same call that read its last live page
@@ -142,18 +156,18 @@ func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
 		// way to the main pool, and a power cut in that window would lose
 		// an acknowledged write.
 		if err := c.eraseTail(cost); err != nil {
-			return -1, nil, err
+			return -1, nil, 0, err
 		}
 	}
 	if !c.content() {
-		return -1, nil, nil
+		return -1, nil, 0, nil
 	}
 	if c.used == 0 {
 		// Only the head block holds data. If it is completely filled it
 		// can be closed and drained like any other; a block still being
 		// filled is left alone.
 		if c.headPage < c.ppb || len(c.ring) < 2 {
-			return -1, nil, nil
+			return -1, nil, 0, nil
 		}
 		c.head = (c.head + 1) % len(c.ring)
 		c.headPage = 0
@@ -162,34 +176,42 @@ func (c *cachePool) drainOne(cost *Cost) (lp int32, data []byte, err error) {
 	b := c.ring[c.tail]
 	if c.tail == c.head {
 		// Should not happen while used > 0; be safe.
-		return -1, nil, nil
+		return -1, nil, 0, nil
 	}
 	idx := b*c.ppb + c.tailPage
 	lp = c.rmap[idx]
 	if lp >= 0 {
+		if c.tr != nil {
+			org = c.orgs[idx]
+		}
 		data, err = c.read(makeLoc(PoolA, b, c.tailPage), cost)
 		if err != nil {
 			if errors.Is(err, nand.ErrPowerLoss) {
 				// Power failed, not the page: leave everything in place
 				// for recovery and report the cut.
-				return -1, nil, err
+				return -1, nil, 0, err
 			}
 			// Uncorrectable: the page's data is lost.
 			c.rmap[idx] = -1
 			c.valid[b]--
 			lp = -2 // signal loss to the owner
 			data = nil
+			org = 0
 			err = nil
 		}
 	}
 	c.tailPage++
-	return lp, data, nil
+	return lp, data, org, nil
 }
 
 // eraseTail erases the fully scanned tail block and advances the tail. A
 // power cut leaves the block, its pages, and the tail cursor untouched.
 func (c *cachePool) eraseTail(cost *Cost) error {
 	b := c.ring[c.tail]
+	programmed := 0
+	if c.tr != nil {
+		programmed = c.chip.ProgrammedPages(b)
+	}
 	_, err := c.chip.EraseBlock(b)
 	cost.Erases++
 	if errors.Is(err, nand.ErrPowerLoss) {
@@ -197,6 +219,14 @@ func (c *cachePool) eraseTail(cost *Cost) error {
 		return err
 	}
 	base := b * c.ppb
+	if c.tr != nil {
+		// The chip counted this erase (even if it failed), so the ledger
+		// attributes it: plurality owner of the block's pages.
+		c.tr.EraseBlockAttrib(b, c.orgs[base:base+programmed])
+		for pg := 0; pg < programmed; pg++ {
+			c.orgs[base+pg] = 0
+		}
+	}
 	for pg := 0; pg < c.ppb; pg++ {
 		c.rmap[base+pg] = -1
 	}

@@ -29,7 +29,7 @@ func TestCacheRingFillsAndReportsNoSlot(t *testing.T) {
 	// head block... fill until hasFreeSlot goes false.
 	writes := 0
 	for c.hasFreeSlot() {
-		if _, err := c.program(int32(writes), nil, &cost); err != nil {
+		if _, err := c.program(int32(writes), nil, &cost, 0); err != nil {
 			t.Fatalf("program %d: %v", writes, err)
 		}
 		writes++
@@ -51,7 +51,7 @@ func TestCacheDrainFIFOAndRecycle(t *testing.T) {
 	c := newTestCache(t, 4, 100_000)
 	var cost Cost
 	for i := 0; i < 12; i++ {
-		if _, err := c.program(int32(i), nil, &cost); err != nil {
+		if _, err := c.program(int32(i), nil, &cost, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,7 +61,7 @@ func TestCacheDrainFIFOAndRecycle(t *testing.T) {
 	// a ninth call is needed for the second block's erase to fire.
 	var drained []int32
 	for i := 0; i < 9; i++ {
-		lp, _, err := c.drainOne(&cost)
+		lp, _, _, err := c.drainOne(&cost)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func TestCacheDrainSkipsDeadPages(t *testing.T) {
 	var cost Cost
 	locs := make([]loc, 8)
 	for i := 0; i < 8; i++ {
-		l, err := c.program(int32(i), nil, &cost)
+		l, err := c.program(int32(i), nil, &cost, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestCacheDrainSkipsDeadPages(t *testing.T) {
 	}
 	live := 0
 	for i := 0; i < 8; i++ {
-		lp, _, err := c.drainOne(&cost)
+		lp, _, _, err := c.drainOne(&cost)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestCacheDrainSkipsDeadPages(t *testing.T) {
 func TestCacheInvalidateIdempotent(t *testing.T) {
 	c := newTestCache(t, 4, 100_000)
 	var cost Cost
-	l, err := c.program(7, nil, &cost)
+	l, err := c.program(7, nil, &cost, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +141,13 @@ func TestCacheBadBlockLeavesRing(t *testing.T) {
 	i := int32(0)
 	for round := 0; round < 4000 && c.alive(); round++ {
 		for c.hasFreeSlot() {
-			if _, err := c.program(i, nil, &cost); err != nil {
+			if _, err := c.program(i, nil, &cost, 0); err != nil {
 				break
 			}
 			i++
 		}
 		for n := 0; n < 4; n++ {
-			if _, _, err := c.drainOne(&cost); err != nil {
+			if _, _, _, err := c.drainOne(&cost); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -167,7 +167,7 @@ func TestCacheUtilisation(t *testing.T) {
 	}
 	var cost Cost
 	for i := 0; i < 6; i++ {
-		if _, err := c.program(int32(i), nil, &cost); err != nil {
+		if _, err := c.program(int32(i), nil, &cost, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

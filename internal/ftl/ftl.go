@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flashwear/internal/nand"
+	"flashwear/internal/wtrace"
 )
 
 // Errors surfaced to the host.
@@ -91,6 +92,10 @@ type FTL struct {
 	fragCountdown int
 
 	stats Stats
+
+	// tr is the optional wear-attribution tracer (nil when tracing is
+	// off, which must cost nothing but nil checks on the write path).
+	tr *wtrace.Tracer
 }
 
 // New builds an FTL (and its chips) from cfg.
@@ -136,6 +141,42 @@ func New(cfg Config) (*FTL, error) {
 		f.cache.readRetries = retries(cfg.ReadRetries)
 	}
 	return f, nil
+}
+
+// SetTracer attaches (or, with nil, detaches) the wear-attribution
+// tracer. It must be called before any I/O: the per-page origin arrays
+// start empty, so wear already on the chips would be attributed to
+// origin 0. Attribution state lives beside the reverse map and follows
+// the same lifecycle (cleared on erase, rebuilt by Recover from OOB).
+func (f *FTL) SetTracer(tr *wtrace.Tracer) {
+	f.tr = tr
+	f.main.tr = tr
+	if tr == nil {
+		f.main.orgs = nil
+		if f.cache != nil {
+			f.cache.tr = nil
+			f.cache.orgs = nil
+		}
+		return
+	}
+	tr.SetPageSize(f.pageSize)
+	f.main.orgs = make([]wtrace.Origin, len(f.main.rmap))
+	if f.cache != nil {
+		f.cache.tr = tr
+		f.cache.orgs = make([]wtrace.Origin, len(f.cache.rmap))
+	}
+}
+
+// Tracer returns the attached wear-attribution tracer, or nil.
+func (f *FTL) Tracer() *wtrace.Tracer { return f.tr }
+
+// origin returns the ambient origin for a host write — who the current
+// request is attributed to.
+func (f *FTL) origin() wtrace.Origin {
+	if f.tr == nil {
+		return wtrace.OriginOS
+	}
+	return f.tr.Current()
 }
 
 // retries maps the Config.ReadRetries encoding (-1 = off) to a count.
@@ -341,13 +382,17 @@ func (f *FTL) WritePage(lp int, data []byte, reqBytes int) (Cost, error) {
 	}
 	f.stats.HostPagesWritten++
 	f.stats.HostBytesWritten += int64(f.pageSize)
+	org := f.origin()
+	if f.tr != nil {
+		f.tr.NoteHostPage()
+	}
 
 	var newLoc loc
 	var err error
 	if f.cache != nil && f.cache.alive() && reqBytes <= f.cfg.Hybrid.RouteMaxBytes {
-		newLoc, err = f.writeViaCache(lp, data, &cost)
+		newLoc, err = f.writeViaCache(lp, data, &cost, org)
 	} else {
-		newLoc, err = f.main.program(int32(lp), data, &cost, false, streamHost)
+		newLoc, err = f.main.program(int32(lp), data, &cost, false, streamHost, org, wtrace.CauseHost)
 	}
 	if err != nil {
 		switch {
@@ -410,7 +455,7 @@ func (f *FTL) Fragmentation() float64 {
 // writeViaCache routes a small write through the Type A pool, applying the
 // drain policy and — at high utilisation and fragmentation — the
 // merged-pool behaviour.
-func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
+func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost, org wtrace.Origin) (loc, error) {
 	h := f.cfg.Hybrid
 	wasMerged := f.merged
 	f.merged = f.Utilisation() >= h.MergeUtilisation &&
@@ -429,7 +474,7 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 			}
 		}
 		if f.cache.hasFreeSlot() {
-			l, err := f.cache.program(int32(lp), data, cost)
+			l, err := f.cache.program(int32(lp), data, cost, org)
 			if err == nil {
 				f.stats.CacheAbsorbed++
 				return l, nil
@@ -442,7 +487,7 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 			// EOL — fall through to the main pool.
 		}
 		f.stats.CacheBypassed++
-		return f.main.program(int32(lp), data, cost, false, streamHost)
+		return f.main.program(int32(lp), data, cost, false, streamHost, org, wtrace.CauseHost)
 	}
 
 	// Unmerged: background drain proceeds at the migration budget; the
@@ -458,7 +503,7 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 		}
 	}
 	if f.cache.hasFreeSlot() {
-		l, err := f.cache.program(int32(lp), data, cost)
+		l, err := f.cache.program(int32(lp), data, cost, org)
 		if err == nil {
 			f.stats.CacheAbsorbed++
 			return l, nil
@@ -470,13 +515,13 @@ func (f *FTL) writeViaCache(lp int, data []byte, cost *Cost) (loc, error) {
 		// retries bypasses rather than ending the device's life.
 	}
 	f.stats.CacheBypassed++
-	return f.main.program(int32(lp), data, cost, false, streamHost)
+	return f.main.program(int32(lp), data, cost, false, streamHost, org, wtrace.CauseHost)
 }
 
 // drainOne advances the cache drain by one page, migrating it into the main
 // pool if it is still live.
 func (f *FTL) drainOne(cost *Cost) error {
-	lp, data, err := f.cache.drainOne(cost)
+	lp, data, org, err := f.cache.drainOne(cost)
 	if err != nil {
 		if errors.Is(err, nand.ErrPowerLoss) {
 			return f.notePowerLoss(err)
@@ -489,9 +534,9 @@ func (f *FTL) drainOne(cost *Cost) error {
 	case lp == -2:
 		return nil // data lost; cache already dropped it
 	}
-	// Live page: move to main. Note the cache slot stays valid until the
-	// move succeeds.
-	nl, err := f.main.program(lp, data, cost, false, streamHost)
+	// Live page: move to main, still owned by the origin that wrote it
+	// into the cache — the drain migration is that origin's amplification.
+	nl, err := f.main.program(lp, data, cost, false, streamHost, org, wtrace.CauseCache)
 	if err != nil {
 		switch {
 		case errors.Is(err, nand.ErrPowerLoss):
@@ -627,7 +672,7 @@ func (f *FTL) Sanitize() (Cost, error) {
 	}
 	if f.cache != nil && f.cache.alive() {
 		for f.cache.content() {
-			if _, _, err := f.cache.drainOne(&cost); err != nil {
+			if _, _, _, err := f.cache.drainOne(&cost); err != nil {
 				if errors.Is(err, nand.ErrPowerLoss) {
 					return cost, f.notePowerLoss(err)
 				}

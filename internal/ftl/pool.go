@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flashwear/internal/nand"
+	"flashwear/internal/wtrace"
 )
 
 // Errors surfaced by pool management.
@@ -72,6 +73,13 @@ type gcPool struct {
 	// lostPower is set when an internal operation (GC read/erase) saw
 	// power drop, for paths that cannot propagate an error.
 	lostPower bool
+
+	// tr/orgs are the wear-attribution hooks (internal/wtrace): orgs
+	// mirrors rmap with the origin that last programmed each physical
+	// page, so relocations and erases can be charged to the writer whose
+	// data caused them. Both nil when tracing is off.
+	tr   *wtrace.Tracer
+	orgs []wtrace.Origin
 }
 
 func newGCPool(id PoolID, chip *nand.Chip, cfg *Config, remap func(int32, loc)) *gcPool {
@@ -216,8 +224,10 @@ func (p *gcPool) closeStream(st int) {
 
 // program writes one logical page into the pool and returns its location.
 // st selects the write stream. The caller is responsible for invalidating
-// any previous location of lp.
-func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st int) (loc, error) {
+// any previous location of lp. org and cause attribute the physical
+// program for the wear ledger (ignored when no tracer is attached): org
+// is the writer whose data this is, cause is why the FTL issued it.
+func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st int, org wtrace.Origin, cause wtrace.Cause) (loc, error) {
 	blk, page := p.stream(st)
 	for attempts := 0; attempts < 8; attempts++ {
 		if err := p.openFor(cost, reserveOK, st); err != nil {
@@ -225,10 +235,18 @@ func (p *gcPool) program(lp int32, data []byte, cost *Cost, reserveOK bool, st i
 		}
 		addr := nand.PageAddr{Block: *blk, Page: *page}
 		*p.gseq++
-		_, err := p.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *p.gseq})
+		_, err := p.chip.ProgramPageOOB(addr, data, nand.OOB{LP: lp, Seq: *p.gseq, Org: uint16(org)})
 		cost.Programs++
 		*page++
 		p.fill[addr.Block]++
+		// Attribute exactly the programs the chip counted: successes and
+		// program *failures* consume the page (nextPage advanced), while
+		// power cuts and address errors return before the chip counts —
+		// this mirroring is what keeps the ledger identity exact.
+		if p.tr != nil && (err == nil || errors.Is(err, nand.ErrProgramFail)) {
+			p.orgs[addr.Block*p.ppb+addr.Page] = org
+			p.tr.NoteProgram(org, cause)
+		}
 		if err == nil {
 			l := makeLoc(p.id, addr.Block, addr.Page)
 			p.rmap[addr.Block*p.ppb+addr.Page] = lp
@@ -378,10 +396,23 @@ func (p *gcPool) relocate(b int, cost *Cost) {
 }
 
 // relocateTo copies all valid pages out of block b into the given stream.
+// Each copy is attributed to the origin that owns the page being moved —
+// GC and wear-leveling work is amplification *caused by* whoever wrote
+// the data, which is the whole point of the ledger.
 func (p *gcPool) relocateTo(b int, cost *Cost, st int) {
 	prev := p.relocating
 	p.relocating = b
 	defer func() { p.relocating = prev }()
+	cause := wtrace.CauseGC
+	if st == streamWL {
+		cause = wtrace.CauseWL
+	}
+	moved := 0
+	defer func() {
+		if p.tr != nil && moved > 0 {
+			p.tr.EventRelocate(cause, b, moved)
+		}
+	}()
 	base := b * p.ppb
 	for pg := 0; pg < p.ppb; pg++ {
 		lp := p.rmap[base+pg]
@@ -404,12 +435,17 @@ func (p *gcPool) relocateTo(b int, cost *Cost, st int) {
 			p.remap(lp, noLoc)
 			continue
 		}
-		nl, err := p.program(lp, data, cost, true, st)
+		var org wtrace.Origin
+		if p.tr != nil {
+			org = p.orgs[base+pg]
+		}
+		nl, err := p.program(lp, data, cost, true, st, org, cause)
 		if err != nil {
 			// No space to relocate into: leave the page where it is.
 			return
 		}
 		p.gcCopies++
+		moved++
 		p.rmap[base+pg] = -1
 		p.valid[b]--
 		p.remap(lp, nl)
@@ -418,17 +454,32 @@ func (p *gcPool) relocateTo(b int, cost *Cost, st int) {
 
 // eraseToFree erases b and returns it to the free list, or retires it.
 func (p *gcPool) eraseToFree(b int, cost *Cost) {
+	// Snapshot the page-origin extent before the erase wipes it: the
+	// erase is charged to the plurality owner of the block's pages.
+	programmed := 0
+	if p.tr != nil {
+		programmed = p.chip.ProgrammedPages(b)
+	}
 	_, err := p.chip.EraseBlock(b)
 	cost.Erases++
 	if errors.Is(err, nand.ErrPowerLoss) {
 		// Nothing latched: the block is untouched, not bad. Leave it
-		// full; recovery rebuilds from the chip anyway.
+		// full; recovery rebuilds from the chip anyway. The chip did not
+		// count the erase, so neither does the ledger.
 		p.lostPower = true
 		p.state[b] = sFull
 		return
 	}
 	p.erasesSinceWL++
 	base := b * p.ppb
+	if p.tr != nil {
+		// Erase failures still count as erases on the chip, so they are
+		// attributed too; only the power cut above is not.
+		p.tr.EraseBlockAttrib(b, p.orgs[base:base+programmed])
+		for pg := 0; pg < programmed; pg++ {
+			p.orgs[base+pg] = 0
+		}
+	}
 	for pg := 0; pg < p.ppb; pg++ {
 		p.rmap[base+pg] = -1
 	}

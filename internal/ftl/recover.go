@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flashwear/internal/nand"
+	"flashwear/internal/wtrace"
 )
 
 // CutPower marks the FTL as having lost power without any chip operation
@@ -88,7 +89,20 @@ func (f *FTL) Recover() (Cost, error) {
 // folding it into the per-logical-page winner tables. blockSeq, when
 // non-nil, receives the highest sequence seen per block (GC aging).
 func (f *FTL) scanPool(pool PoolID, chip *nand.Chip, bestSeq []int64, bestLoc []loc, blockSeq []int64, cost *Cost) {
+	// Wear-attribution tags are part of the OOB record, so page ownership
+	// survives power loss the same way the mapping does. (Pages of failed
+	// programs carry no OOB; their in-RAM attribution, made at program
+	// time, is left alone.)
+	var orgs []wtrace.Origin
+	if f.tr != nil {
+		if pool == PoolA {
+			orgs = f.cache.orgs
+		} else {
+			orgs = f.main.orgs
+		}
+	}
 	g := chip.Geometry()
+	ppb := g.PagesPerBlock
 	for b := 0; b < g.Blocks(); b++ {
 		if chip.Bad(b) {
 			continue
@@ -99,6 +113,9 @@ func (f *FTL) scanPool(pool PoolID, chip *nand.Chip, bestSeq []int64, bestLoc []
 			oob, ok := chip.ReadOOB(nand.PageAddr{Block: b, Page: pg})
 			if !ok {
 				continue // interrupted or failed program: no metadata
+			}
+			if orgs != nil {
+				orgs[b*ppb+pg] = wtrace.Origin(oob.Org)
 			}
 			if oob.Seq > f.gseq {
 				f.gseq = oob.Seq

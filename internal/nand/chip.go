@@ -81,8 +81,9 @@ type Chip struct {
 // sequence number. Power-loss recovery rebuilds the whole logical-physical
 // map from nothing but these two fields (the highest sequence wins).
 type OOB struct {
-	LP  int32 // logical page, -1 for pages written without a mapping
-	Seq int64 // global program sequence; 0 means "no metadata"
+	LP  int32  // logical page, -1 for pages written without a mapping
+	Seq int64  // global program sequence; 0 means "no metadata"
+	Org uint16 // wear-attribution origin tag (internal/wtrace); 0 = untagged
 }
 
 type block struct {

@@ -1,0 +1,54 @@
+// Package profiling wraps runtime/pprof behind two small helpers so every
+// CLI can expose identical -pprof-cpu / -pprof-heap flags without
+// repeating the file-handling and stop plumbing. Profiles measure the
+// simulator itself (real CPU time and heap, not simulated time); they are
+// how the "tracing off costs nothing" claim is checked outside the
+// benchmarks.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU starts a CPU profile written to path and returns the function
+// that stops profiling and closes the file. Call stop exactly once before
+// the process exits — os.Exit skips defers, so CLIs with early-exit error
+// paths must route them through stop.
+func StartCPU(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path. It forces a GC first so the
+// profile reflects live objects, not garbage awaiting collection.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}
