@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench faults wtrace check
+.PHONY: all build vet lint test race bench faults wtrace check
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The project's own analyzers (DESIGN.md §10): wall-clock time, global
+# math/rand, unsorted map emission, float accumulation in merge paths, and
+# discarded NAND/FTL errors. Builds cmd/flashvet and runs all five over the
+# whole module; exits non-zero on any finding or unused ignore directive.
+# The same binary also works as `go vet -vettool=$$(pwd)/bin/flashvet ./...`.
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/flashvet ./cmd/flashvet
+	./bin/flashvet ./...
 
 test:
 	$(GO) test ./...
@@ -57,4 +67,4 @@ wtrace:
 	./wtrace-out/wtracecheck -ledger wtrace-out/fleet-ledger-w1.csv
 
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet build test race faults wtrace
+check: vet lint build test race faults wtrace

@@ -1,0 +1,23 @@
+// Command flashvet statically enforces the simulator's determinism and
+// safety invariants: no wall-clock time, no global or constant-seeded
+// RNGs, no map-iteration order in output, integer-only fleet merges, no
+// discarded storage-mutation errors. Run it standalone over package
+// patterns, or as a `go vet -vettool` backend. See DESIGN.md §10.
+//
+// Usage:
+//
+//	flashvet ./...
+//	go vet -vettool=$(pwd)/bin/flashvet ./...
+//
+// Exit status: 0 clean, 1 internal/usage error, 2 findings.
+package main
+
+import (
+	"os"
+
+	"flashwear/internal/analysis/flashvet"
+)
+
+func main() {
+	os.Exit(flashvet.Main(os.Args[1:]))
+}

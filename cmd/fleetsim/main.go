@@ -128,6 +128,7 @@ func main() {
 	if *progress > 0 {
 		reg := telemetry.NewRegistry()
 		spec.Telemetry = reg
+		//flashvet:ignore wallclock operator progress display on stderr; deterministic results never flow through it
 		ticker := time.NewTicker(*progress)
 		quitCh := make(chan struct{})
 		go func() {

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//flashvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses the named analyzers' diagnostics on one line — the comment's
+// own line when it trails code, or the next line when it stands alone. The
+// reason is mandatory: an ignore that cannot say why it exists is itself a
+// diagnostic, as is one naming an unknown analyzer or one that suppresses
+// nothing (so stale waivers cannot outlive the code they excused).
+const ignorePrefix = "flashvet:ignore"
+
+// A directive is one parsed //flashvet:ignore comment.
+type directive struct {
+	pos       token.Pos // of the comment, for reporting problems
+	file      string
+	line      int // line the directive applies to
+	analyzers []string
+	reason    string
+	problem   string          // non-empty if malformed; reported, never applied
+	used      map[string]bool // analyzer name -> suppressed something
+}
+
+// collectDirectives parses every flashvet:ignore comment in the package.
+// known maps valid analyzer names; src holds file contents keyed by
+// filename (used to tell trailing comments from standalone ones).
+func collectDirectives(fset *token.FileSet, files []*ast.File, src map[string][]byte, known map[string]bool) []*directive {
+	var dirs []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				d := parseDirective(c.Pos(), text, known)
+				pos := fset.Position(c.Pos())
+				d.file = pos.Filename
+				d.line = pos.Line
+				if standalone(src[pos.Filename], pos) {
+					// The comment owns its line: it governs the next one.
+					d.line = fset.Position(c.End()).Line + 1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+func parseDirective(pos token.Pos, text string, known map[string]bool) *directive {
+	d := &directive{pos: pos, used: map[string]bool{}}
+	// An embedded "//" ends the directive: what follows is ordinary
+	// commentary, not part of the reason.
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	if text != "" && !strings.HasPrefix(text, " ") && !strings.HasPrefix(text, "\t") {
+		d.problem = fmt.Sprintf("malformed %s directive: want //%s <analyzer> <reason>", ignorePrefix, ignorePrefix)
+		return d
+	}
+	names, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+	if names == "" {
+		d.problem = fmt.Sprintf("%s directive names no analyzer: want //%s <analyzer> <reason>", ignorePrefix, ignorePrefix)
+		return d
+	}
+	for _, name := range strings.Split(names, ",") {
+		if !known[name] {
+			d.problem = fmt.Sprintf("%s directive names unknown analyzer %q", ignorePrefix, name)
+			return d
+		}
+		d.analyzers = append(d.analyzers, name)
+	}
+	d.reason = strings.TrimSpace(reason)
+	if d.reason == "" {
+		d.problem = fmt.Sprintf("%s %s directive has no reason: every waiver must say why the invariant does not bind", ignorePrefix, names)
+	}
+	return d
+}
+
+// standalone reports whether the comment at pos is the first token on its
+// line (only whitespace before it), as opposed to trailing code.
+func standalone(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false // no source available: treat as trailing (same line)
+	}
+	for i := pos.Offset - pos.Column + 1; i < pos.Offset; i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// matches reports whether d suppresses a diagnostic from the named
+// analyzer at file:line, and marks it used if so.
+func (d *directive) matches(name, file string, line int) bool {
+	if d.problem != "" || d.file != file || d.line != line {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == name {
+			d.used[name] = true
+			return true
+		}
+	}
+	return false
+}

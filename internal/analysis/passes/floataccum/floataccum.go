@@ -1,0 +1,126 @@
+// Package floataccum forbids floating-point accumulation in the fleet's
+// merge paths.
+//
+// Invariant: fleet aggregation must be byte-identical across worker
+// counts (DESIGN.md §6). That holds because accumulators carry only
+// integer counters and integer-count histograms, whose merging is exactly
+// associative and commutative under any partition of devices over
+// workers. Floating-point addition is not associative — merging the same
+// per-worker sums in a different order yields different low bits — so a
+// single float += in an add/merge path silently breaks the determinism
+// contract. Floats are fine at render time, derived from identical
+// integer sums (see fleet.MetricsSeries.WriteCSV); they may not be
+// accumulated.
+package floataccum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+
+	"flashwear/internal/analysis"
+)
+
+// Packages scopes the analyzer by import-path base name. The default
+// covers the two packages whose merge semantics carry the cross-worker
+// determinism argument: fleet (population aggregation) and wtrace (the
+// merged wear ledger).
+var Packages = "fleet,wtrace"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floataccum",
+	Doc: "forbid floating-point accumulation in fleet/wtrace merge paths\n\n" +
+		"Aggregates merged across workers must stay integer: float\n" +
+		"addition is not associative, so float accumulation makes the\n" +
+		"result depend on worker count.",
+	Run: run,
+}
+
+func inScope(pkgPath string) bool {
+	base := path.Base(pkgPath)
+	for _, want := range strings.Split(Packages, ",") {
+		if base == strings.TrimSpace(want) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.IncDecStmt:
+			if isFloat(pass, n.X) && !pass.IsTestFile(n.Pos()) {
+				pass.Reportf(n.Pos(), "floating-point %s accumulation: merge paths must stay integer for order independence", n.Tok)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if pass.IsTestFile(as.Pos()) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(pass, lhs) {
+				pass.Reportf(as.Pos(), "floating-point %s accumulation: merge paths must stay integer for order independence (fixed-point like mWearAvgMicro if fractions are needed)", as.Tok)
+			}
+		}
+	case token.ASSIGN:
+		// x = x + y spelled out.
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) || !isFloat(pass, lhs) {
+				continue
+			}
+			if obj := lhsObject(pass, lhs); obj != nil && addsSelf(pass, obj, as.Rhs[i]) {
+				pass.Reportf(as.Pos(), "floating-point accumulation (x = x + ...): merge paths must stay integer for order independence")
+			}
+		}
+	}
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// addsSelf reports whether rhs is an additive expression mentioning obj.
+func addsSelf(pass *analysis.Pass, obj types.Object, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		return false
+	}
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

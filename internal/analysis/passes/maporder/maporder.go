@@ -1,0 +1,255 @@
+// Package maporder flags map iteration whose order leaks into output.
+//
+// Invariant: everything the simulator emits — device state, journal and
+// checkpoint writes, CSV ledgers, merged aggregates — must be a pure
+// function of the Spec. Go randomizes map iteration order per run, so a
+// `range` over a map may not, in its body, write to an io.Writer, build a
+// string, or append to a slice that outlives the loop unless that slice is
+// sorted afterwards. This is the exact bug class PR 3 shipped in extfs:
+// journal/checkpoint/bitmap blocks were written home in map order, so two
+// runs of the same workload produced different on-flash histories and the
+// crash/remount suite could not replay. The sanctioned idiom is
+// collect-keys / sort / iterate (extfs's sortedKeys), which this analyzer
+// recognizes and leaves alone.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flashwear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map-range bodies whose iteration order escapes\n\n" +
+		"Writing to an io.Writer, building a string, or growing an escaping\n" +
+		"unsorted slice inside `range someMap` makes output depend on Go's\n" +
+		"randomized map order (the PR 3 extfs journal bug).",
+	Run: run,
+}
+
+// ioWriter is a handmade io.Writer interface, so detection does not depend
+// on the analyzed package importing io.
+var ioWriter = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function body for map ranges whose iteration
+// order escapes. fnBody is also the scan range for the sorted-afterwards
+// exemption.
+func checkFunc(pass *analysis.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[rng.X]; !ok || !isMap(tv.Type) {
+			return true
+		}
+		checkRangeBody(pass, fnBody, rng)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkRangeBody(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := emissionCall(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "%s inside range over map: iteration order is randomized, so the output differs run to run — iterate sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, fnBody, rng, n)
+		}
+		return true
+	})
+}
+
+// emissionCall reports a non-empty description if the call writes
+// order-dependent bytes to a sink: fmt.Fprint*, io.WriteString, a Write*/
+// Print* method on an io.Writer implementation, or encoding/csv output.
+func emissionCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := pass.FuncOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		writesBytes := types.Implements(t, ioWriter) ||
+			types.Implements(types.NewPointer(t), ioWriter) ||
+			isCSVWriter(t)
+		if writesBytes && (hasPrefix(name, "Write") || hasPrefix(name, "Print")) {
+			return "write to " + types.TypeString(t, types.RelativeTo(pass.Pkg)) + "." + name
+		}
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if hasPrefix(name, "Fprint") {
+			return "fmt." + name
+		}
+	case "io":
+		if name == "WriteString" {
+			return "io.WriteString"
+		}
+	}
+	return ""
+}
+
+func isCSVWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "encoding/csv" && named.Obj().Name() == "Writer"
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// checkAssign flags two escapes through assignment: growing an outer-scope
+// slice via append (unless the slice is sorted after the loop), and
+// building a string into an outer-scope variable.
+func checkAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		return // a fresh variable cannot outlive the loop body
+	}
+	for i, lhs := range as.Lhs {
+		obj := outerObject(pass, rng, lhs)
+		if obj == nil {
+			continue
+		}
+		// String accumulation: s += ... or s = s + ... .
+		if basicString(obj.Type()) {
+			if as.Tok == token.ADD_ASSIGN || (as.Tok == token.ASSIGN && i < len(as.Rhs) && selfConcat(pass, obj, as.Rhs[i])) {
+				pass.Reportf(as.Pos(), "string built across range over map: concatenation order is randomized — collect and sort keys first")
+			}
+			continue
+		}
+		// Slice growth: x = append(x, ...).
+		if i < len(as.Rhs) && isAppend(pass, as.Rhs[i]) {
+			if sortedAfter(pass, fnBody, rng, obj) {
+				continue // the collect-then-sort idiom
+			}
+			pass.Reportf(as.Pos(), "append to %s inside range over map without sorting it afterwards: element order is randomized", obj.Name())
+		}
+	}
+}
+
+// outerObject resolves lhs to a variable declared outside the range
+// statement, or nil if it is loop-local (or not a plain variable). Struct
+// fields and package variables count as outer.
+func outerObject(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // declared inside the loop
+	}
+	return obj
+}
+
+func basicString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// selfConcat reports whether rhs is a + chain that mentions obj, i.e. the
+// assignment extends the existing string.
+func selfConcat(pass *analysis.Pass, obj types.Object, rhs ast.Expr) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isAppend(pass *analysis.Pass, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, later in the same function, the collected
+// slice is passed to a sort.* or slices.* function — the second half of
+// the collect/sort/iterate idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := pass.FuncOf(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

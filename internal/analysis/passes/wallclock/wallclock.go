@@ -1,0 +1,60 @@
+// Package wallclock forbids wall-clock time in simulation code.
+//
+// Invariant: a simulation run is a pure function of its Spec (DESIGN.md
+// §6). Every timestamp must come from the injected simclock.Clock;
+// time.Now and friends smuggle in host state, making runs unrepeatable and
+// crash/remount suites unreplayable. Durations and time.Duration
+// arithmetic remain fine — only sources of real time (and real delays) are
+// banned. Test files are exempt: harness timeouts and benchmarks
+// legitimately watch the host clock.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flashwear/internal/analysis"
+)
+
+// banned lists the package-level time functions that read or wait on the
+// host clock. Constructors like time.Date are allowed: they compute a
+// value from explicit arguments.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time in simulation code\n\n" +
+		"Simulated time comes from the injected simclock.Clock; time.Now,\n" +
+		"time.Since, time.Sleep and the timer constructors read host state\n" +
+		"and break bit-exact replay.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+			return true
+		}
+		if pass.IsTestFile(sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code: use the injected simclock.Clock", fn.Name())
+		return true
+	})
+	return nil
+}

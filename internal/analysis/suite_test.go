@@ -1,0 +1,127 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashwear/internal/analysis"
+	"flashwear/internal/analysis/checktest"
+	"flashwear/internal/analysis/flashvet"
+	"flashwear/internal/analysis/passes/floataccum"
+	"flashwear/internal/analysis/passes/globalrand"
+	"flashwear/internal/analysis/passes/maporder"
+	"flashwear/internal/analysis/passes/opserrcheck"
+	"flashwear/internal/analysis/passes/wallclock"
+)
+
+// One fixture per analyzer: each seeds violations, sanctioned idioms, and
+// a //flashvet:ignore waiver, proving the analyzer both fires and can be
+// silenced (ISSUE 5 acceptance).
+
+func TestWallclockFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/wallclock", wallclock.Analyzer)
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/globalrand", globalrand.Analyzer)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/maporder", maporder.Analyzer)
+}
+
+func TestFloataccumFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/floataccum/fleet", floataccum.Analyzer)
+}
+
+func TestOpserrcheckFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/opserrcheck", opserrcheck.Analyzer)
+}
+
+// TestIgnoreFixture pins the directive grammar itself: both waiver forms,
+// the mandatory reason, unknown-analyzer rejection, and the stale-waiver
+// check, under the full suite.
+func TestIgnoreFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/ignoredir", flashvet.All()...)
+}
+
+// TestRealTreeClean is `make lint` as a test: the full suite over the full
+// module must come back empty. A finding here means a determinism or
+// safety invariant regressed (or a waiver went stale) — fix it or justify
+// it with //flashvet:ignore, never by loosening the analyzer.
+func TestRealTreeClean(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, fset, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	findings, err := analysis.Run(fset, pkgs, flashvet.All(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVetToolProtocol proves the `go vet -vettool` integration end to end:
+// the binary speaks -V=full/-flags/vet.cfg well enough for cmd/go to drive
+// it, passes a clean package, and fails a seeded one.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "flashvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/flashvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building flashvet: %v\n%s", err, out)
+	}
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, pattern)
+		cmd.Dir = root
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	if out, err := vet("./internal/simclock"); err != nil {
+		t.Errorf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+	out, err := vet("./internal/analysis/testdata/src/wallclock")
+	if err == nil {
+		t.Errorf("go vet -vettool passed the seeded wallclock fixture:\n%s", out)
+	}
+	if !strings.Contains(out, "wall-clock time.Now") {
+		t.Errorf("seeded fixture output missing wallclock finding:\n%s", out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,44 @@
+// Package fleet exercises the floataccum analyzer, which scopes by
+// import-path base name: this fixture package is "fleet", so its merge
+// paths must stay integer like the real one's.
+package fleet
+
+type acc struct {
+	n       int64
+	waMilli int64
+	wa      float64
+}
+
+func (a *acc) add(n int64, wa float64) {
+	a.n += n                     // ok: integer accumulation
+	a.waMilli += int64(wa * 1e3) // ok: fixed-point accumulation
+	a.wa += wa                   // want `floating-point \+= accumulation`
+}
+
+func merge(dst, src *acc) {
+	dst.n += src.n
+	dst.wa = dst.wa + src.wa // want `floating-point accumulation \(x = x \+`
+	dst.wa -= 0.5            // want `floating-point -= accumulation`
+}
+
+func count(fs []float64) float64 {
+	var peak float64
+	for _, f := range fs {
+		if f > peak {
+			peak = f // ok: selection, not accumulation
+		}
+	}
+	return peak
+}
+
+func render(a *acc) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.waMilli) / 1e3 / float64(a.n) // ok: derived at render time
+}
+
+func waived(a *acc, jitter float64) {
+	//flashvet:ignore floataccum single-device scratch value, never merged across workers
+	a.wa += jitter
+}

@@ -1,0 +1,26 @@
+// Package a exercises the globalrand analyzer: the process-global
+// math/rand source and hard-coded seeds are banned; injected seeded
+// *rand.Rand values are the sanctioned idiom.
+package a
+
+import "math/rand"
+
+func draw(r *rand.Rand) int {
+	n := rand.Intn(6)                    // want `global rand\.Intn`
+	rand.Shuffle(n, func(i, j int) {})   // want `global rand\.Shuffle`
+	_ = rand.Float64()                   // want `global rand\.Float64`
+	return n + r.Intn(6) + r.Perm(3)[0] // ok: injected source
+}
+
+func fixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `hard-coded seed in rand\.NewSource`
+}
+
+func derivedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x9e3779b9)) // ok: seed flows from the caller
+}
+
+func waived() *rand.Rand {
+	//flashvet:ignore globalrand fixture corpus must be identical for every caller
+	return rand.New(rand.NewSource(77))
+}

@@ -1,0 +1,30 @@
+// Package a exercises the //flashvet:ignore directive itself: both waiver
+// forms, the mandatory reason, unknown-analyzer rejection, and the
+// unused-directive check.
+package a
+
+import "time"
+
+func standaloneWaiver() time.Time {
+	//flashvet:ignore wallclock host timestamp feeds the operator log, not the simulation
+	return time.Now()
+}
+
+func trailingWaiver() time.Time {
+	return time.Now() //flashvet:ignore wallclock same-line waiver form
+}
+
+func missingReason() time.Time {
+	//flashvet:ignore wallclock // want `flashvet: flashvet:ignore wallclock directive has no reason`
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func unknownAnalyzer() time.Time {
+	//flashvet:ignore clockwall transposed analyzer name // want `flashvet: flashvet:ignore directive names unknown analyzer "clockwall"`
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func unusedWaiver() int {
+	x := 1 //flashvet:ignore wallclock nothing on this line touches the clock // want `flashvet: unused flashvet:ignore directive`
+	return x
+}

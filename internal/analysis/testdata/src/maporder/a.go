@@ -1,0 +1,62 @@
+// Package a exercises the maporder analyzer: map iteration order may not
+// reach an io.Writer, a string, or an escaping unsorted slice; the
+// collect/sort/iterate idiom is recognized and allowed.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var sb strings.Builder
+	var s string
+	for k := range m {
+		sb.WriteString(k) // want `write to \*strings\.Builder\.WriteString inside range over map`
+		s += k            // want `string built across range over map`
+		s = s + "!"       // want `string built across range over map`
+	}
+	return s + sb.String()
+}
+
+func sortedIdiom(m map[uint32]bool) []uint32 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted right below
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without sorting`
+	}
+	return out
+}
+
+func loopLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		parts := []string{} // ok: loop-local, dies with the iteration
+		parts = append(parts, "x")
+		total += v + len(parts) // ok: integer accumulation is order-independent
+	}
+	return total
+}
+
+func waived(w io.Writer, m map[string]int) {
+	for k := range m {
+		//flashvet:ignore maporder each key writes to its own per-device file, order is immaterial
+		fmt.Fprintln(w, k)
+	}
+}

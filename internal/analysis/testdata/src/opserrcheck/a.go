@@ -1,0 +1,33 @@
+// Package a exercises the opserrcheck analyzer: errors from storage
+// mutation ops may not be dropped on the floor.
+package a
+
+import "flashwear/internal/analysis/testdata/src/opserrcheck/nand"
+
+func drop(c *nand.Chip) {
+	c.EraseBlock(3)                 // want `error from nand\.EraseBlock discarded`
+	_, _ = c.ProgramPage(0, nil)    // want `error from nand\.ProgramPage assigned to _`
+	res, _ := c.ProgramPage(1, nil) // want `error from nand\.ProgramPage assigned to _`
+	_ = res.Retries
+	defer c.Recover()  // want `error from nand\.Recover discarded by defer`
+	go c.EraseBlock(4) // want `error from nand\.EraseBlock discarded by go`
+}
+
+func handled(c *nand.Chip) error {
+	if err := c.EraseBlock(5); err != nil {
+		return err
+	}
+	res, err := c.ProgramPage(2, nil) // ok: error inspected
+	if err != nil {
+		return err
+	}
+	_ = res
+	data, _ := c.ReadPage(0) // ok: reads are out of scope
+	_ = data
+	return nil
+}
+
+func waived(c *nand.Chip) {
+	//flashvet:ignore opserrcheck best-effort trim on teardown, the device may already be dying
+	c.EraseBlock(9)
+}

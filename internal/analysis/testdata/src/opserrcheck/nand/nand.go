@@ -1,0 +1,19 @@
+// Package nand is a fixture stand-in for the real NAND layer: opserrcheck
+// scopes by the declaring package's base name, so its method set mirrors
+// the mutation ops the analyzer guards.
+package nand
+
+// OpResult mimics the real chip's per-op accounting.
+type OpResult struct{ Retries int }
+
+// Chip mimics the mutating surface of nand.Chip.
+type Chip struct{ bricked bool }
+
+func (c *Chip) ProgramPage(page int, data []byte) (OpResult, error) { return OpResult{}, nil }
+func (c *Chip) EraseBlock(blk int) error                            { return nil }
+func (c *Chip) WriteThrough(p []byte) (int, error)                  { return len(p), nil }
+func (c *Chip) Recover() error                                      { return nil }
+
+// ReadPage is not a mutation op; its dropped errors are errcheck's
+// business, not flashvet's.
+func (c *Chip) ReadPage(page int) ([]byte, error) { return nil, nil }

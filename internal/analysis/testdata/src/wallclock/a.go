@@ -1,0 +1,29 @@
+// Package a exercises the wallclock analyzer: wall-clock reads and timers
+// are banned in simulation code; duration arithmetic is not.
+package a
+
+import "time"
+
+func sim() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	_ = time.Since(start)        // want `wall-clock time\.Since`
+	_ = time.Until(start)        // want `wall-clock time\.Until`
+	t := time.NewTimer(0)        // want `wall-clock time\.NewTimer`
+	t.Stop()
+	return 3 * time.Second // ok: duration arithmetic reads no clock
+}
+
+func asValue() func() time.Time {
+	return time.Now // want `wall-clock time\.Now`
+}
+
+func constructed() time.Time {
+	// ok: computes a value from explicit arguments.
+	return time.Date(2017, time.May, 8, 0, 0, 0, 0, time.UTC)
+}
+
+func waived() time.Time {
+	//flashvet:ignore wallclock operator-facing log timestamp, outside the simulation
+	return time.Now()
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// VetConfig mirrors the JSON config cmd/go hands a -vettool for each
+// package (see buildVetConfig in cmd/go/internal/work/exec.go). The
+// protocol: the tool is invoked as `flashvet <flags> <objdir>/vet.cfg`,
+// prints diagnostics to stderr, exits 0 when clean and nonzero on
+// findings, and writes its (for us, empty) facts file to VetxOutput so
+// the go command can cache the run.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool analyzes the single package described by the vet config file
+// at cfgPath and returns the process exit code: 0 clean, 1 internal
+// failure, 2 findings. checkUnusedIgnores should be set only when the
+// full suite runs (see flashvet.Main).
+func RunVetTool(analyzers []*Analyzer, cfgPath string, checkUnusedIgnores bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Flashvet analyzers produce no facts, but the go command caches the
+	// vetx output to decide whether the run completed; write it first so
+	// even a clean package leaves the expected artifact.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("flashvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: nothing to report, and (having no facts)
+		// nothing to compute either.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, vetExports(cfg))
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		return 1
+	}
+	findings, err := Run(fset, []*Package{pkg}, analyzers, checkUnusedIgnores)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetExports adapts the config's import-path remapping and export-data
+// table to the loader's flat path→file map.
+func vetExports(cfg VetConfig) map[string]string {
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	// Source import paths that the build resolved elsewhere (vendoring,
+	// test variants) alias their canonical package's export data.
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok && exports[src] == "" {
+			exports[src] = file
+		}
+	}
+	return exports
+}

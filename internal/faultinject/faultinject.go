@@ -107,11 +107,21 @@ func ParsePlan(s string) (Plan, error) {
 	if s == "" {
 		return p, nil
 	}
+	seen := make(map[string]bool)
 	for _, field := range strings.Split(s, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
 		if !ok {
 			return p, fmt.Errorf("faultinject: %q: want key=value", field)
 		}
+		// A repeated scalar clause is a typo'd plan, not a refinement:
+		// silently letting the last one win would make e.g.
+		// "read=1e-3,read=1e-6" inject a thousandth of what the operator
+		// reviewed. The list keys (cut-at, cut-time) may repeat; repeats
+		// append, same as ';' within one clause.
+		if seen[key] && key != "cut-at" && key != "cut-time" {
+			return p, fmt.Errorf("faultinject: duplicate %q clause", key)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "seed":

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -33,6 +34,64 @@ func TestParsePlan(t *testing.T) {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q): want error", bad)
 		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must contain
+	}{
+		// Malformed values: the strconv/ParseDuration error must surface
+		// with the offending key.
+		{"read=abc", "read"},
+		{"program=1e", "program"},
+		{"erase=", "erase"},
+		{"seed=7.5", "seed"},
+		{"cut-every=ten", "cut-every"},
+		{"cut-at=100;x;300", "cut-at"},
+		{"cut-time=24h;soon", "cut-time"},
+		// Out-of-range values rejected by Validate after parsing.
+		{"read=1.5", "ReadFaultProb"},
+		{"program=-0.1", "ProgramFaultProb"},
+		{"erase=2", "EraseFaultProb"},
+		// Missing '=' and unknown keys.
+		{"seed", "key=value"},
+		{"seed=1,,read=1e-4", "key=value"},
+		{"foo=1", `unknown key "foo"`},
+		{"Read=1e-4", `unknown key "Read"`}, // keys are case-sensitive
+		// Duplicate scalar clauses: the last-one-wins trap.
+		{"read=1e-3,read=1e-6", `duplicate "read"`},
+		{"seed=1,seed=2", `duplicate "seed"`},
+		{"program=1e-5,program=1e-5", `duplicate "program"`},
+		{"erase=1e-5,erase=2e-5", `duplicate "erase"`},
+		{"cut-every=5,cut-every=6", `duplicate "cut-every"`},
+	}
+	for _, tc := range cases {
+		_, err := ParsePlan(tc.in)
+		if err == nil {
+			t.Errorf("ParsePlan(%q): want error containing %q, got nil", tc.in, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePlan(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestParsePlanRepeatedListClauses(t *testing.T) {
+	// The list keys may repeat: repeats append, exactly like ';' within a
+	// single clause. Only the scalar keys are duplicate-checked.
+	p, err := ParsePlan("cut-at=100,cut-at=200;300,cut-time=1h,cut-time=2h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{100, 200, 300}; len(p.PowerCutOps) != 3 ||
+		p.PowerCutOps[0] != want[0] || p.PowerCutOps[1] != want[1] || p.PowerCutOps[2] != want[2] {
+		t.Fatalf("PowerCutOps = %v, want %v", p.PowerCutOps, want)
+	}
+	if len(p.PowerCutAt) != 2 || p.PowerCutAt[0] != time.Hour || p.PowerCutAt[1] != 2*time.Hour {
+		t.Fatalf("PowerCutAt = %v", p.PowerCutAt)
 	}
 }
 

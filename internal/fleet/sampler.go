@@ -67,10 +67,12 @@ func (s Spec) sample(i int) Params {
 func pickWeighted(rng *rand.Rand, ws []float64) int {
 	var total float64
 	for _, w := range ws {
+		//flashvet:ignore floataccum fixed-order sum over one device's config slice, never merged across workers
 		total += w
 	}
 	r := rng.Float64() * total
 	for i, w := range ws {
+		//flashvet:ignore floataccum fixed-order walk of the same slice; identical for every worker count
 		r -= w
 		if r < 0 {
 			return i

@@ -226,6 +226,7 @@ func weightsValid(what string, ws []float64) error {
 		if w < 0 {
 			return fmt.Errorf("fleet: negative %s weight %g", what, w)
 		}
+		//flashvet:ignore floataccum spec validation sums the config slice in fixed order, before any worker runs
 		total += w
 	}
 	if total <= 0 {

@@ -47,7 +47,10 @@ func (w *DeviceWriter) init() error {
 		return nil
 	}
 	if w.rng == nil {
-		w.rng = rand.New(rand.NewSource(1))
+		// No silent fallback seed: a writer whose draws are not tied to an
+		// explicit seed would make the run unreproducible without anyone
+		// noticing (flashvet globalrand would flag a literal here too).
+		return fmt.Errorf("workload: DeviceWriter has no RNG: construct it with NewDeviceWriter so the seed is explicit")
 	}
 	if w.ReqBytes <= 0 {
 		return fmt.Errorf("workload: ReqBytes = %d", w.ReqBytes)
