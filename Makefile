@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench faults wtrace check
+.PHONY: all build vet lint test race bench faults wtrace fleetd-smoke fleetd-bigsmoke check
 
 all: build
 
@@ -32,6 +32,7 @@ race:
 	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
 	$(GO) test -race -count=1 -run 'TestRegistryConcurrent|TestWtraceCollector' ./internal/telemetry/
 	$(GO) test -race -count=1 -run TestConcurrentLedger ./internal/wtrace/
+	$(GO) test -race -count=1 -run 'TestCampaignInMemory|TestServerAPI|TestResumeAfterTruncatedCell' ./internal/fleetd/
 
 # The fault matrix under -race: randomized power-cut/remount recovery,
 # program/erase-failure handling, graceful EOL, the faulty-flash crash
@@ -66,5 +67,23 @@ wtrace:
 	./wtrace-out/wtracecheck -ledger wtrace-out/flashsim-ledger.csv -trace wtrace-out/flashsim-trace.json
 	./wtrace-out/wtracecheck -ledger wtrace-out/fleet-ledger-w1.csv
 
+# fleetd end-to-end smoke (DESIGN.md §11): start the campaign service,
+# submit a checkpointed campaign, kill -9 the server mid-run, restart,
+# resume, and require the final series/ledger/result byte-identical to an
+# uninterrupted run. Artifacts land in fleetd-smoke-out/.
+fleetd-smoke:
+	./scripts/fleetd_smoke.sh
+
+# Opt-in scale check (not part of check): a large sharded campaign
+# through the service path, for watching steady-state memory stay
+# O(workers) while the population grows. Tune FLEETD_BIG_* to taste.
+fleetd-bigsmoke:
+	rm -rf fleetd-big-out && mkdir -p fleetd-big-out
+	$(GO) build -o fleetd-big-out/fleetsim ./cmd/fleetsim
+	./fleetd-big-out/fleetsim -devices $${FLEETD_BIG_DEVICES:-2000} \
+		-days $${FLEETD_BIG_DAYS:-30} -scale 65536 -seed 42 -quiet \
+		-shards 8 -checkpoint fleetd-big-out/data -checkpoint-every 5 \
+		-metrics-csv fleetd-big-out/series.csv
+
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet lint build test race faults wtrace
+check: vet lint build test race faults wtrace fleetd-smoke

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// flagSet wraps flag.FlagSet with the small conveniences the subcommands
+// share: exit-on-usage-error parsing, positional-argument access, and a
+// was-this-flag-set probe.
+type flagSet struct {
+	*flag.FlagSet
+}
+
+func newFlagSet(name string) *flagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &flagSet{FlagSet: fs}
+}
+
+func (fs *flagSet) parse(args []string) {
+	fs.Parse(args) // ExitOnError: never returns an error
+}
+
+// changed reports whether the named flag was set explicitly.
+func (fs *flagSet) changed(name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// arg returns positional argument i or a usage error naming what was
+// missing.
+func (fs *flagSet) arg(i int, what string) (string, error) {
+	if fs.NArg() <= i {
+		return "", fmt.Errorf("missing %s argument", what)
+	}
+	return fs.Arg(i), nil
+}
+
+func readAllStdin() ([]byte, error) {
+	return io.ReadAll(os.Stdin)
+}

@@ -1,0 +1,343 @@
+// Command fleetd runs the fleet campaign service and talks to it.
+//
+// Server mode:
+//
+//	fleetd serve -addr :7070 -data /var/lib/fleetd
+//
+// starts the HTTP/JSON control plane (see internal/fleetd for the API).
+// With -data, every campaign checkpoints its shards there at the
+// configured cadence and survives kill -9: restart the server and the
+// campaigns come back paused, resumable from their last complete epoch.
+//
+// Client mode (every other subcommand; -addr selects the server):
+//
+//	fleetd submit -devices 100000 -days 365 -shards 8 -checkpoint-every 30
+//	fleetd list
+//	fleetd status <id>
+//	fleetd series <id>        # committed day series, CSV on stdout
+//	fleetd ledger <id>        # per-origin wear ledger, CSV on stdout
+//	fleetd result <id>        # final aggregate, JSON on stdout
+//	fleetd pause <id>
+//	fleetd resume <id>
+//	fleetd fork <id> -days 730 -faults "read=1e-4"
+//	fleetd wait <id>          # poll until done/failed/paused
+//
+// Exit codes: 0 on success, 1 on runtime or server error, 2 on usage
+// error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"flashwear/internal/fleetd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = serve(args)
+	case "submit":
+		err = submit(args)
+	case "list":
+		err = list(args)
+	case "status":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			st, err := cl.Status(id)
+			if err != nil {
+				return err
+			}
+			return printJSON(st)
+		})
+	case "series":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			return printRaw(cl.SeriesCSV(id))
+		})
+	case "ledger":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			return printRaw(cl.LedgerCSV(id))
+		})
+	case "result":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			agg, err := cl.Result(id)
+			if err != nil {
+				return err
+			}
+			return printJSON(agg)
+		})
+	case "pause":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			st, err := cl.Pause(id)
+			if err != nil {
+				return err
+			}
+			return printJSON(st)
+		})
+	case "resume":
+		err = campaignCmd(args, func(cl *fleetd.Client, id string) error {
+			st, err := cl.Resume(id)
+			if err != nil {
+				return err
+			}
+			return printJSON(st)
+		})
+	case "fork":
+		err = fork(args)
+	case "wait":
+		err = wait(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "fleetd: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fleetd <command> [flags]
+
+commands:
+  serve    run the campaign service
+  submit   submit a campaign
+  list     list campaigns
+  status   show one campaign's status
+  series   print the committed day series (CSV)
+  ledger   print the per-origin wear ledger (CSV)
+  result   print the final aggregate (JSON)
+  pause    pause a running campaign
+  resume   resume a paused campaign
+  fork     fork a quiescent campaign
+  wait     poll until a campaign stops running
+
+run "fleetd <command> -h" for the command's flags.`)
+}
+
+// flags shared by every client subcommand.
+func clientFlags(fs *flagSet) *string {
+	return fs.String("addr", "http://localhost:7070", "fleetd server base URL")
+}
+
+func serve(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", ":7070", "listen address")
+	data := fs.String("data", "", "checkpoint data directory (empty = in-memory campaigns only)")
+	fs.parse(args)
+	mgr, err := fleetd.NewManager(*data)
+	if err != nil {
+		return err
+	}
+	if *data != "" {
+		for _, c := range mgr.List() {
+			st := c.Status()
+			fmt.Fprintf(os.Stderr, "fleetd: adopted campaign %s (%s, %d devices, %d days) — paused; resume to continue\n",
+				st.ID, st.Name, st.Devices, st.Days)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleetd: listening on %s (data: %q)\n", *addr, *data)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fleetd.NewServer(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// specFlags registers the campaign-spec flags on fs and returns a closure
+// building the spec after parsing.
+func specFlags(fs *flagSet) func() (fleetd.CampaignSpec, error) {
+	specPath := fs.String("spec", "", "read the full CampaignSpec from this JSON file (\"-\" = stdin); other spec flags override")
+	name := fs.String("name", "", "campaign label")
+	devices := fs.Int("devices", 0, "population size")
+	days := fs.Int("days", 0, "simulated horizon per device, whole full-scale days")
+	seed := fs.Int64("seed", 42, "root seed")
+	scale := fs.Int64("scale", 0, "device capacity divisor")
+	buggy := fs.Float64("buggy", 0, "fraction of devices running a write-buggy app")
+	attack := fs.Float64("attack", 0, "fraction of devices under deliberate wear attack")
+	faults := fs.String("faults", "", "fault plan, faultinject.ParsePlan grammar")
+	wearTrace := fs.Bool("wear-trace", false, "attach per-origin wear attribution (enables the ledger endpoint)")
+	shards := fs.Int("shards", 0, "shard count (scheduling only)")
+	workers := fs.Int("workers", 0, "per-shard worker pool size (scheduling only)")
+	every := fs.Int("checkpoint-every", 0, "checkpoint cadence in simulated days (scheduling only)")
+	return func() (fleetd.CampaignSpec, error) {
+		var spec fleetd.CampaignSpec
+		if *specPath != "" {
+			raw, err := readFileOrStdin(*specPath)
+			if err != nil {
+				return spec, err
+			}
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				return spec, fmt.Errorf("-spec: %w", err)
+			}
+		}
+		if *name != "" {
+			spec.Name = *name
+		}
+		if *devices != 0 {
+			spec.Devices = *devices
+		}
+		if *days != 0 {
+			spec.Days = *days
+		}
+		if fs.changed("seed") || spec.Seed == 0 {
+			spec.Seed = *seed
+		}
+		if *scale != 0 {
+			spec.Scale = *scale
+		}
+		if *buggy != 0 {
+			spec.Buggy = *buggy
+		}
+		if *attack != 0 {
+			spec.Attack = *attack
+		}
+		if *faults != "" {
+			spec.Faults = *faults
+		}
+		if *wearTrace {
+			spec.WearTrace = true
+		}
+		if *shards != 0 {
+			spec.Shards = *shards
+		}
+		if *workers != 0 {
+			spec.Workers = *workers
+		}
+		if *every != 0 {
+			spec.CheckpointEvery = *every
+		}
+		return spec, nil
+	}
+}
+
+func submit(args []string) error {
+	fs := newFlagSet("submit")
+	addr := clientFlags(fs)
+	build := specFlags(fs)
+	fs.parse(args)
+	spec, err := build()
+	if err != nil {
+		return err
+	}
+	cl := &fleetd.Client{BaseURL: *addr}
+	st, err := cl.Submit(spec)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func list(args []string) error {
+	fs := newFlagSet("list")
+	addr := clientFlags(fs)
+	fs.parse(args)
+	cl := &fleetd.Client{BaseURL: *addr}
+	out, err := cl.List()
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func fork(args []string) error {
+	fs := newFlagSet("fork")
+	addr := clientFlags(fs)
+	name := fs.String("name", "", "fork label")
+	days := fs.Int("days", 0, "new horizon (0 = keep)")
+	faults := fs.String("faults", "", "replacement fault plan for future epochs")
+	faultsSet := fs.Bool("clear-faults", false, "remove the fault plan for future epochs")
+	fs.parse(args)
+	id, err := fs.arg(0, "campaign id")
+	if err != nil {
+		return err
+	}
+	opts := fleetd.ForkOptions{Name: *name, Days: *days}
+	if *faults != "" || *faultsSet {
+		f := *faults
+		opts.Faults = &f
+	}
+	cl := &fleetd.Client{BaseURL: *addr}
+	st, err := cl.Fork(id, opts)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func wait(args []string) error {
+	fs := newFlagSet("wait")
+	addr := clientFlags(fs)
+	every := fs.Duration("every", 2*time.Second, "poll interval")
+	fs.parse(args)
+	id, err := fs.arg(0, "campaign id")
+	if err != nil {
+		return err
+	}
+	cl := &fleetd.Client{BaseURL: *addr}
+	for {
+		st, err := cl.Status(id)
+		if err != nil {
+			return err
+		}
+		if st.State != fleetd.StateRunning {
+			if err := printJSON(st); err != nil {
+				return err
+			}
+			if st.State == fleetd.StateFailed {
+				return fmt.Errorf("campaign %s failed: %s", id, st.Error)
+			}
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "fleetd: %s: day %d/%d, %d bricked\n", id, st.DaysDone, st.Days, st.Bricked)
+		//flashvet:ignore wallclock client-side poll pacing against a remote server; no simulation results flow through it
+		time.Sleep(*every)
+	}
+}
+
+// campaignCmd runs a client action that takes only -addr and a campaign
+// id argument.
+func campaignCmd(args []string, fn func(*fleetd.Client, string) error) error {
+	fs := newFlagSet("command")
+	addr := clientFlags(fs)
+	fs.parse(args)
+	id, err := fs.arg(0, "campaign id")
+	if err != nil {
+		return err
+	}
+	return fn(&fleetd.Client{BaseURL: *addr}, id)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printRaw(raw []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(raw)
+	return err
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return readAllStdin()
+	}
+	return os.ReadFile(path)
+}

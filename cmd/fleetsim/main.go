@@ -29,6 +29,7 @@ import (
 
 	"flashwear/internal/faultinject"
 	"flashwear/internal/fleet"
+	"flashwear/internal/fleetd"
 	"flashwear/internal/profiling"
 	"flashwear/internal/report"
 	"flashwear/internal/telemetry"
@@ -52,6 +53,10 @@ func main() {
 	progress := flag.Duration("progress", 0, "print a done/bricked/read-only line to stderr at this wall-clock interval")
 	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the run to this file")
 	pprofHeap := flag.String("pprof-heap", "", "write a heap profile to this file at exit")
+	checkpointDir := flag.String("checkpoint", "", "run through the fleetd engine, checkpointing shards into this directory (survives kill -9; resume with -resume)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in simulated days for -checkpoint (0 = only at the end)")
+	shards := flag.Int("shards", 0, "shard count for -checkpoint mode (scheduling only, never visible in results)")
+	resumeDir := flag.String("resume", "", "resume the campaign checkpointed in this directory (its spec comes from campaign.json; population flags are ignored)")
 	flag.Parse()
 
 	var stopCPU func() error
@@ -74,6 +79,34 @@ func main() {
 	if *buggy < 0 || *attack < 0 || *buggy+*attack > 1 {
 		fmt.Fprintln(os.Stderr, "fleetsim: -buggy and -attack must be non-negative and sum to at most 1")
 		os.Exit(2)
+	}
+	if *checkpointDir != "" || *resumeDir != "" {
+		if *checkpointDir != "" && *resumeDir != "" {
+			fmt.Fprintln(os.Stderr, "fleetsim: -checkpoint and -resume are mutually exclusive")
+			os.Exit(2)
+		}
+		if *days != float64(int(*days)) {
+			fmt.Fprintln(os.Stderr, "fleetsim: -checkpoint/-resume mode advances whole days; -days must be an integer")
+			os.Exit(2)
+		}
+		cspec := fleetd.CampaignSpec{
+			Devices:         *devices,
+			Days:            int(*days),
+			Seed:            *seed,
+			Scale:           *scale,
+			ReqBytes:        *req,
+			Buggy:           *buggy,
+			Attack:          *attack,
+			Faults:          *faultPlan,
+			WearTrace:       *wearTrace != "",
+			Shards:          *shards,
+			Workers:         *workers,
+			CheckpointEvery: *checkpointEvery,
+		}
+		if err := serviceRun(*checkpointDir, *resumeDir, cspec, *metricsCSV, *wearTrace); err != nil {
+			fail(err)
+		}
+		return
 	}
 	var plan *faultinject.Plan
 	if *faultPlan != "" {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flashwear/internal/fleetd"
+	"flashwear/internal/report"
+)
+
+// serviceRun is fleetsim's checkpointed mode (-checkpoint / -resume): the
+// same population question answered through the fleetd engine instead of
+// one batch fleet.Run call, so the run survives kill -9 and resumes from
+// its last complete epoch. The results follow fleetd's daily-reboot
+// determinism contract — byte-identical across -workers, -shards,
+// -checkpoint-every, and any number of interruptions, but not
+// digit-comparable with batch-mode output (see DESIGN.md §11).
+func serviceRun(checkpointDir, resumeDir string, spec fleetd.CampaignSpec, metricsCSV, wearTrace string) error {
+	var c *fleetd.Campaign
+	if resumeDir != "" {
+		mgr, err := fleetd.NewManager(resumeDir)
+		if err != nil {
+			return err
+		}
+		campaigns := mgr.List()
+		if len(campaigns) == 0 {
+			return fmt.Errorf("-resume: no campaign found in %s", resumeDir)
+		}
+		c = campaigns[0]
+		fmt.Fprintf(os.Stderr, "fleetsim: resuming campaign %s from %s (%d/%d days done)\n",
+			c.ID(), resumeDir, c.Status().DaysDone, c.Spec().Days)
+		if err := c.Resume(); err != nil {
+			return err
+		}
+	} else {
+		mgr, err := fleetd.NewManager(checkpointDir)
+		if err != nil {
+			return err
+		}
+		if n := len(mgr.List()); n > 0 {
+			return fmt.Errorf("-checkpoint: %s already holds a campaign; use -resume to continue it", checkpointDir)
+		}
+		c, err = mgr.Submit(spec)
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.Wait(); err != nil {
+		return err
+	}
+	renderCampaign(os.Stdout, c)
+	if metricsCSV != "" {
+		if err := writeTo(metricsCSV, c.Series().WriteCSV); err != nil {
+			return err
+		}
+	}
+	if wearTrace != "" {
+		ledger := c.Ledger()
+		renderWear := ledger.WriteCSV
+		if strings.HasSuffix(wearTrace, ".json") {
+			renderWear = ledger.WriteJSON
+		}
+		if err := writeTo(wearTrace, renderWear); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderCampaign prints the fleetd-mode summary — the same shape as the
+// batch render, built from the campaign's terminal aggregate.
+func renderCampaign(w io.Writer, c *fleetd.Campaign) {
+	spec := c.Spec()
+	agg, _ := c.Aggregate()
+	fmt.Fprintf(w, "Campaign %s: %d devices over %d days (seed %d, scale %d, checkpointed)\n\n",
+		c.ID(), spec.Devices, spec.Days, spec.Seed, spec.Scale)
+	t := agg.Total
+	fmt.Fprintf(w, "bricked: %d of %d (%.2f%%), read-only: %d\n",
+		t.Bricked, t.Devices, pct(t.Bricked, t.Devices), t.ReadOnly)
+	if t.Bricked > 0 {
+		fmt.Fprintf(w, "mean time-to-brick: %.1f days\n", float64(t.BrickDayMilli)/1000/float64(t.Bricked))
+	}
+	fmt.Fprintf(w, "host data absorbed: %s\n\n", report.HumanBytes(t.HostMiB<<20))
+	campaignGroupTable(w, "By workload class", agg.ByClass)
+	campaignGroupTable(w, "By device model", agg.ByProfile)
+	wa := report.Percentiles(agg.WriteAmp, 0.50, 0.90, 0.99)
+	fmt.Fprintf(w, "write amplification: p50 %.2f  p90 %.2f  p99 %.2f\n", wa[0], wa[1], wa[2])
+}
+
+func campaignGroupTable(w io.Writer, title string, groups []fleetd.NamedGroup) {
+	tbl := report.NewTable(title, "group", "devices", "bricked", "brick%", "mean-days", "host-data")
+	for _, g := range groups {
+		meanDays := 0.0
+		if g.Bricked > 0 {
+			meanDays = float64(g.BrickDayMilli) / 1000 / float64(g.Bricked)
+		}
+		tbl.AddRow(g.Name, g.Devices, g.Bricked,
+			fmt.Sprintf("%.2f", pct(g.Bricked, g.Devices)),
+			fmt.Sprintf("%.1f", meanDays),
+			report.HumanBytes(g.HostMiB<<20))
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w)
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -234,6 +234,16 @@ func (d *Device) BytesRead() int64 { return d.bytesRead }
 // BusyTime returns the cumulative service time of all requests.
 func (d *Device) BusyTime() time.Duration { return d.busy }
 
+// RestoreCounters overwrites the device's cumulative I/O counters — the
+// checkpoint-resume path re-creates the device stack from chip state, and
+// the fresh stack must keep reporting lifetime totals, not totals since
+// the resume.
+func (d *Device) RestoreCounters(bytesWritten, bytesRead int64, busy time.Duration) {
+	d.bytesWritten = bytesWritten
+	d.bytesRead = bytesRead
+	d.busy = busy
+}
+
 // WearIndicator reads the JEDEC life-time estimate register for a pool. On
 // profiles flagged UnreliableIndicator (the BLU phones) it returns an
 // arbitrary stuck-or-garbage value, like the real parts did.

@@ -62,6 +62,22 @@ func (p Plan) WithSeed(seed int64) Plan {
 	return p
 }
 
+// After returns a copy of the plan with time-scheduled power cuts at or
+// before start removed. A resumed (or daily-rebooted) device builds a
+// fresh Injector whose time cursor starts at zero; without this filter,
+// every cut-time mark the previous boot already fired would fire again at
+// the first operation of the new one.
+func (p Plan) After(start time.Duration) Plan {
+	var keep []time.Duration
+	for _, at := range p.PowerCutAt {
+		if at > start {
+			keep = append(keep, at)
+		}
+	}
+	p.PowerCutAt = keep
+	return p
+}
+
 // Validate reports the first invalid field.
 func (p Plan) Validate() error {
 	check := func(name string, v float64) error {

@@ -202,7 +202,7 @@ func TestFleetPanicContainment(t *testing.T) {
 	}
 	var want []int64
 	for i := range victims {
-		want = append(want, spec.sample(i).Seed)
+		want = append(want, spec.Sample(i).Seed)
 	}
 	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
 	if !reflect.DeepEqual(res.FailedSeeds, want) {
@@ -252,7 +252,7 @@ func TestFleetFaultPlanDeterminism(t *testing.T) {
 func TestSamplerIsPure(t *testing.T) {
 	spec := testSpec(0).Defaults()
 	for i := 0; i < 128; i++ {
-		a, b := spec.sample(i), spec.sample(i)
+		a, b := spec.Sample(i), spec.Sample(i)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("sample(%d) differs across calls: %+v vs %+v", i, a, b)
 		}
@@ -260,7 +260,7 @@ func TestSamplerIsPure(t *testing.T) {
 	// Distinct devices must not all collapse onto one seed.
 	seen := make(map[int64]bool)
 	for i := 0; i < 128; i++ {
-		seen[spec.sample(i).Seed] = true
+		seen[spec.Sample(i).Seed] = true
 	}
 	if len(seen) != 128 {
 		t.Errorf("only %d distinct seeds over 128 devices", len(seen))

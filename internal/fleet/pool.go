@@ -81,7 +81,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				if i >= spec.Devices {
 					return
 				}
-				p := spec.sample(i)
+				p := spec.Sample(i)
 				res, err, panicked := runDevice(ctx, spec, p)
 				if panicked {
 					// Contained: record the failure with the seed that

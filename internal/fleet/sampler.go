@@ -37,10 +37,17 @@ type profileSample struct {
 	name string
 }
 
-// sample derives device i's parameters. It draws from an RNG seeded by
+// ProfileIndex returns the index of the sampled profile in the spec's
+// Profiles mix — exported so internal/fleetd can re-derive the same device
+// stack from the same Spec.
+func (p Params) ProfileIndex() int { return p.profile.idx }
+
+// Sample derives device i's parameters. It draws from an RNG seeded by
 // deviceSeed alone, so it is a pure function of (Spec.Seed, i) — the heart
-// of the order-independence argument in the package documentation.
-func (s Spec) sample(i int) Params {
+// of the order-independence argument in the package documentation. It is
+// exported for internal/fleetd, whose sharded campaigns must sample the
+// identical population for any shard count.
+func (s Spec) Sample(i int) Params {
 	seed := deviceSeed(s.Seed, i)
 	rng := rand.New(rand.NewSource(seed))
 	pIdx := pickWeighted(rng, weightsOf(s.Profiles))

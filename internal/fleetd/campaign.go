@@ -1,0 +1,712 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+
+	"flashwear/internal/fleet"
+	"flashwear/internal/wtrace"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+const (
+	// StateRunning: the sweep goroutine is advancing epochs.
+	StateRunning State = "running"
+	// StatePaused: no sweep is active; Resume restarts the idempotent
+	// sweep, which reuses every completed cell.
+	StatePaused State = "paused"
+	// StateDone: the horizon is complete and the final aggregate is set.
+	StateDone State = "done"
+	// StateFailed: the sweep hit a non-recoverable error (see Err).
+	StateFailed State = "failed"
+)
+
+// Manager owns the campaigns of one fleetd instance. With a data
+// directory it persists every campaign's spec and checkpoint cells there
+// and adopts them back (paused) on restart; with an empty data directory
+// campaigns are in-memory only — still pausable, but a pause discards
+// epoch progress and fork is unavailable.
+type Manager struct {
+	dataDir string
+
+	mu        sync.Mutex
+	nextID    int
+	campaigns []*Campaign // sorted by ID
+}
+
+var campaignIDRe = regexp.MustCompile(`^c(\d{6})$`)
+
+// errRunning rejects operations that need a quiescent campaign.
+var errRunning = errors.New("campaign is running; pause it first")
+
+// campaignFile is the on-disk spec record, <dir>/campaign.json.
+type campaignFile struct {
+	Spec CampaignSpec `json:"spec"`
+}
+
+// NewManager creates a manager. A non-empty dataDir is created if needed
+// and scanned for existing campaigns, which are adopted in StatePaused —
+// restart never silently burns CPU; the operator resumes explicitly.
+func NewManager(dataDir string) (*Manager, error) {
+	m := &Manager{dataDir: dataDir, nextID: 1}
+	if dataDir == "" {
+		return m, nil
+	}
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		match := campaignIDRe.FindStringSubmatch(e.Name())
+		if !e.IsDir() || match == nil {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dataDir, e.Name(), "campaign.json"))
+		if err != nil {
+			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
+		}
+		var cf campaignFile
+		if err := json.Unmarshal(raw, &cf); err != nil {
+			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
+		}
+		c, err := m.newCampaign(e.Name(), cf.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
+		}
+		m.campaigns = append(m.campaigns, c)
+		if n, err := strconv.Atoi(match[1]); err == nil && n >= m.nextID {
+			m.nextID = n + 1
+		}
+	}
+	sort.Slice(m.campaigns, func(i, j int) bool { return m.campaigns[i].id < m.campaigns[j].id })
+	return m, nil
+}
+
+// newCampaign builds the in-memory object (no goroutine, StatePaused).
+func (m *Manager) newCampaign(id string, spec CampaignSpec) (*Campaign, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fspec, err := spec.fleetSpec()
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{mgr: m, id: id, spec: spec, fspec: fspec, state: StatePaused}
+	if m.dataDir != "" {
+		c.dir = filepath.Join(m.dataDir, id)
+	}
+	c.series = &DaySeries{}
+	c.agg = newAggregate()
+	return c, nil
+}
+
+// Submit validates a spec, persists it (when a data directory is
+// configured), and starts the campaign.
+func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
+	m.mu.Lock()
+	id := fmt.Sprintf("c%06d", m.nextID)
+	c, err := m.newCampaign(id, spec)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	m.campaigns = append(m.campaigns, c)
+	m.mu.Unlock()
+
+	if c.dir != "" {
+		if err := writeCampaignFile(c.dir, c.spec); err != nil {
+			return nil, err
+		}
+	}
+	c.start()
+	return c, nil
+}
+
+func writeCampaignFile(dir string, spec CampaignSpec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(campaignFile{Spec: spec}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "campaign.json"), append(raw, '\n'), 0o644)
+}
+
+// Get returns a campaign by ID.
+func (m *Manager) Get(id string) (*Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.campaigns {
+		if c.id == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// List returns the campaigns sorted by ID.
+func (m *Manager) List() []*Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Campaign(nil), m.campaigns...)
+}
+
+// ForkOptions selects what a fork overrides. Zero values keep the source
+// campaign's settings. Only future-facing knobs may change: the forked
+// campaign shares the source's completed epochs byte-for-byte, so any
+// knob that would invalidate them (seed, population, scale, class mix)
+// is not forkable — submit a new campaign instead.
+type ForkOptions struct {
+	// Name labels the fork.
+	Name string `json:"name,omitempty"`
+	// Days extends (or shrinks) the horizon; 0 keeps the source horizon.
+	Days int `json:"days,omitempty"`
+	// Faults, when non-nil, replaces the fault plan for epochs the fork
+	// computes itself (completed epochs keep the history they were
+	// computed under — that shared past is the point of a fork).
+	Faults *string `json:"faults,omitempty"`
+}
+
+// Fork clones a paused or finished campaign into a new one: the spec
+// (with opts applied) is re-submitted, every completed cell whose epoch
+// grid is unchanged is copied over, and the new campaign's sweep resumes
+// from there — a counterfactual future on a shared past.
+func (m *Manager) Fork(id string, opts ForkOptions) (*Campaign, error) {
+	if m.dataDir == "" {
+		return nil, errors.New("fleetd: fork requires a data directory")
+	}
+	src, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("fleetd: fork: no campaign %q", id)
+	}
+	switch src.State() {
+	case StatePaused, StateDone, StateFailed:
+	default:
+		return nil, fmt.Errorf("fleetd: fork: campaign %s: %w", id, errRunning)
+	}
+	spec := src.spec
+	if opts.Name != "" {
+		spec.Name = opts.Name
+	}
+	if opts.Days != 0 {
+		spec.Days = opts.Days
+	}
+	if opts.Faults != nil {
+		spec.Faults = *opts.Faults
+	}
+
+	m.mu.Lock()
+	newID := fmt.Sprintf("c%06d", m.nextID)
+	dst, err := m.newCampaign(newID, spec)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	m.campaigns = append(m.campaigns, dst)
+	m.mu.Unlock()
+
+	if err := writeCampaignFile(dst.dir, dst.spec); err != nil {
+		return nil, err
+	}
+	if err := copyCells(src, dst); err != nil {
+		return nil, err
+	}
+	dst.start()
+	return dst, nil
+}
+
+// copyCells re-stamps every copyable completed cell of src into dst's
+// directory. A cell is copyable when its epoch covers the same global day
+// range under both horizons (the final, clamped epoch of a differing
+// horizon is not) and it is not dst's final epoch (whose footer must
+// carry the survivor fold, which only dst's own sweep can produce).
+// Device frames re-encode byte-identically, so a copied cell is
+// indistinguishable from one dst computed itself.
+func copyCells(src, dst *Campaign) error {
+	oldDays, newDays := src.spec.Days, dst.spec.Days
+	oldE, newE := src.epochLen(), dst.epochLen()
+	newEpochs := epochCount(newE, newDays)
+	for e := 1; e <= epochCount(oldE, oldDays); e++ {
+		oldLo, oldHi := epochDays(e, oldE, oldDays)
+		newLo, newHi := epochDays(e, newE, newDays)
+		if e > newEpochs || oldLo != newLo || oldHi != newHi {
+			continue
+		}
+		if e == newEpochs && oldDays != newDays {
+			continue
+		}
+		for s := 0; s < src.spec.Shards; s++ {
+			if err := restampCell(src, dst, s, e, e == newEpochs); err != nil {
+				if errors.Is(err, os.ErrNotExist) || errors.Is(err, ErrCheckpointTruncated) {
+					continue // cell not completed; dst's sweep recomputes it
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restampCell copies one (shard, epoch) cell from src to dst, rewriting
+// the identity header for dst's horizon.
+func restampCell(src, dst *Campaign, shard, epoch int, final bool) error {
+	r, err := openCell(cellPath(src.dir, shard, epoch))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	hdr := r.Header
+	hdr.Days = dst.spec.Days
+	w, err := newCkptWriter(cellPath(dst.dir, shard, epoch), hdr)
+	if err != nil {
+		return err
+	}
+	ft, err := r.scan(w.writeDevice)
+	if err != nil {
+		w.abort()
+		return err
+	}
+	if !final {
+		ft.Final = nil
+	}
+	return w.finish(ft)
+}
+
+// Campaign is one managed fleet run. All public methods are safe for
+// concurrent use.
+type Campaign struct {
+	mgr   *Manager
+	id    string
+	dir   string // "" for in-memory campaigns
+	spec  CampaignSpec
+	fspec fleet.Spec
+
+	mu      sync.Mutex
+	state   State
+	err     error
+	cancel  context.CancelFunc
+	runDone chan struct{}
+
+	// Committed progress: the fleet-level series over completed epochs,
+	// the cumulative dead-device aggregate, the point-in-time ledger, and
+	// the final aggregate once done. len(series.Rows) is days completed.
+	series *DaySeries
+	agg    *Aggregate
+	ledger wtrace.Snapshot
+	final  *Aggregate
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Spec returns the submitted (defaulted) spec.
+func (c *Campaign) Spec() CampaignSpec { return c.spec }
+
+// epochLen is the effective epoch length in days: CheckpointEvery when a
+// data directory backs the campaign, otherwise one epoch spans the whole
+// horizon (there is nowhere to store intermediate states).
+func (c *Campaign) epochLen() int {
+	if c.dir == "" || c.spec.CheckpointEvery <= 0 || c.spec.CheckpointEvery >= c.spec.Days {
+		return c.spec.Days
+	}
+	return c.spec.CheckpointEvery
+}
+
+// start launches the sweep goroutine.
+func (c *Campaign) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.state = StateRunning
+	c.err = nil
+	c.cancel = cancel
+	c.runDone = done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		err := c.sweep(ctx)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch {
+		case err == nil:
+			c.state = StateDone
+		case errors.Is(err, context.Canceled):
+			c.state = StatePaused
+		default:
+			c.state = StateFailed
+			c.err = err
+		}
+	}()
+}
+
+// Pause cancels the sweep and waits for it to stop. The sweep checks for
+// cancellation between device-epochs, so an in-flight cell is abandoned
+// (its .tmp file discarded) and recomputed on resume. Pausing a finished
+// campaign is a no-op.
+func (c *Campaign) Pause() {
+	c.mu.Lock()
+	cancel, done := c.cancel, c.runDone
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// Resume restarts a paused campaign's sweep. Completed cells are reused,
+// so resuming costs only the probe pass plus whatever is genuinely left.
+func (c *Campaign) Resume() error {
+	c.mu.Lock()
+	st := c.state
+	c.mu.Unlock()
+	switch st {
+	case StatePaused:
+		c.start()
+		return nil
+	case StateRunning:
+		return nil
+	default:
+		return fmt.Errorf("fleetd: campaign %s is %s, not paused", c.id, st)
+	}
+}
+
+// Wait blocks until the current sweep (if any) exits and returns the
+// campaign's error state.
+func (c *Campaign) Wait() error {
+	c.mu.Lock()
+	done := c.runDone
+	c.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return c.Err()
+}
+
+// State returns the lifecycle phase.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Err returns the failure cause when State is StateFailed.
+func (c *Campaign) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Status is a point-in-time progress summary.
+type Status struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Devices  int    `json:"devices"`
+	Days     int    `json:"days"`
+	DaysDone int    `json:"days_done"`
+	Shards   int    `json:"shards"`
+	Bricked  int64  `json:"bricked"`
+	ReadOnly int64  `json:"read_only"`
+}
+
+// Status returns the progress summary.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID:      c.id,
+		Name:    c.spec.Name,
+		State:   c.state,
+		Devices: c.spec.Devices,
+		Days:    c.spec.Days,
+		Shards:  c.spec.Shards,
+	}
+	if c.err != nil {
+		st.Error = c.err.Error()
+	}
+	st.DaysDone = len(c.series.Rows)
+	if n := len(c.series.Rows); n > 0 {
+		st.Bricked = c.series.Rows[n-1][dBricked]
+		st.ReadOnly = c.series.Rows[n-1][dReadOnly]
+	}
+	return st
+}
+
+// Series returns a deep copy of the committed day series.
+func (c *Campaign) Series() *DaySeries {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.series.clone()
+}
+
+// Aggregate returns the campaign's terminal aggregate and whether it is
+// final. Before completion it covers only devices that already died.
+func (c *Campaign) Aggregate() (*Aggregate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.final != nil {
+		return c.final.clone(), true
+	}
+	return c.agg.clone(), false
+}
+
+// Ledger returns the committed point-in-time fleet wear ledger (dead
+// plus live devices, full-scale volumes).
+func (c *Campaign) Ledger() wtrace.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s wtrace.Snapshot
+	s.Merge(c.ledger)
+	return s
+}
+
+// sweep is the idempotent run loop: for each epoch, for each shard,
+// reuse the cell if its checkpoint is valid, otherwise recompute it from
+// the previous epoch's states; then commit the epoch fleet-wide. Fresh
+// starts, crash recovery, resume, and fork all take this exact path.
+func (c *Campaign) sweep(ctx context.Context) error {
+	days := c.spec.Days
+	every := c.epochLen()
+	shards := c.spec.Shards
+	epochs := epochCount(every, days)
+
+	c.mu.Lock()
+	c.series = &DaySeries{}
+	c.agg = newAggregate()
+	c.ledger = wtrace.Snapshot{}
+	c.final = nil
+	c.mu.Unlock()
+
+	var prev []*epochFooter
+	for e := 1; e <= epochs; e++ {
+		cur := make([]*epochFooter, shards)
+		for s := 0; s < shards; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			var prevFt *epochFooter
+			if prev != nil {
+				prevFt = prev[s]
+			}
+			if c.dir != "" {
+				lo, hi := epochDays(e, every, days)
+				want := fileHeader{
+					Seed: c.fspec.Seed, Devices: c.fspec.Devices, Days: days,
+					Shard: s, Epoch: e, DayLo: lo, DayHi: hi,
+				}
+				ft, err := loadFooter(cellPath(c.dir, s, e), want)
+				ok, err := cellUsable(ft, err)
+				if err != nil {
+					return err
+				}
+				// The final epoch's footer must carry the survivor fold; a
+				// restamped cell from a shorter fork source does not.
+				if ok && e == epochs && ft.Final == nil {
+					ok = false
+				}
+				if ok {
+					cur[s] = ft
+					continue
+				}
+			}
+			ft, err := c.runShardEpoch(ctx, s, e, prevFt)
+			if err != nil {
+				return err
+			}
+			cur[s] = ft
+		}
+		if err := c.commitEpoch(cur, e == epochs); err != nil {
+			return err
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// loadFooter's identity header for cell (s, e) needs the day range; the
+// sweep computes it inline above. runShardEpoch recomputes one cell: it
+// streams the shard's device states from the previous epoch's checkpoint
+// (or births the population for epoch 1) through a worker pool into the
+// cell's accumulator and, when a data directory backs the campaign, its
+// checkpoint file.
+func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *epochFooter) (*epochFooter, error) {
+	spec := c.fspec
+	days := c.spec.Days
+	lo, hi := epochDays(epoch, c.epochLen(), days)
+	devLo, devHi := shardRange(spec.Devices, c.spec.Shards, shard)
+	acc := newEpochAcc(days, lo, hi, prevFt)
+
+	var w *ckptWriter
+	if c.dir != "" {
+		hdr := fileHeader{
+			Seed: spec.Seed, Devices: spec.Devices, Days: days,
+			Shard: shard, Epoch: epoch,
+			DevLo: devLo, DevHi: devHi, DayLo: lo, DayHi: hi,
+		}
+		var err error
+		w, err = newCkptWriter(cellPath(c.dir, shard, epoch), hdr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type job struct {
+		idx int
+		st  *deviceState
+	}
+	workers := spec.Workers
+	jobs := make(chan job, workers)
+	var prodErr error
+	go func() {
+		defer close(jobs)
+		if epoch == 1 {
+			for i := devLo; i < devHi; i++ {
+				select {
+				case jobs <- job{idx: i}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			return
+		}
+		r, err := openCell(cellPath(c.dir, shard, epoch-1))
+		if err != nil {
+			prodErr = err
+			return
+		}
+		defer r.Close()
+		_, err = r.scan(func(st *deviceState) error {
+			select {
+			case jobs <- job{idx: st.Index, st: st}:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			prodErr = err
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var workErr error
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if ctx.Err() != nil {
+					continue // drain
+				}
+				errMu.Lock()
+				failed := workErr != nil
+				errMu.Unlock()
+				if failed {
+					continue
+				}
+				st, err := runDeviceEpoch(spec, spec.Sample(jb.idx), jb.st, acc)
+				if err == nil && st != nil && w != nil {
+					err = w.writeDevice(st)
+				}
+				if err != nil {
+					errMu.Lock()
+					if workErr == nil {
+						workErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	err := workErr
+	if err == nil {
+		err = prodErr
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		if w != nil {
+			w.abort()
+		}
+		return nil, err
+	}
+	ft, err := acc.footer(shard, epoch)
+	if err != nil {
+		if w != nil {
+			w.abort()
+		}
+		return nil, err
+	}
+	if w != nil {
+		if err := w.finish(ft); err != nil {
+			return nil, err
+		}
+	}
+	return ft, nil
+}
+
+// commitEpoch merges the epoch's shard footers and publishes them: the
+// epoch's day rows append to the campaign series, and the cumulative
+// aggregate, ledger, and (on the last epoch) final aggregate are
+// replaced. Shards merge in index order, but every merge is commutative
+// anyway — the committed values are a pure function of the cell set.
+func (c *Campaign) commitEpoch(footers []*epochFooter, final bool) error {
+	es := &DaySeries{}
+	agg := newAggregate()
+	var ledger wtrace.Snapshot
+	var fin *Aggregate
+	if final {
+		fin = newAggregate()
+	}
+	for _, ft := range footers {
+		fs := &DaySeries{Rows: ft.Rows, Wear: ft.Wear}
+		if len(es.Rows) == 0 {
+			es = fs.clone()
+		} else if err := es.merge(fs); err != nil {
+			return err
+		}
+		if err := agg.merge(ft.Agg); err != nil {
+			return err
+		}
+		ledger.Merge(ft.Ledger)
+		if final {
+			if ft.Final == nil {
+				return fmt.Errorf("fleetd: shard %d epoch %d: final epoch footer has no final aggregate", ft.Shard, ft.Epoch)
+			}
+			if err := fin.merge(ft.Final); err != nil {
+				return err
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.series.append(es)
+	c.agg = agg
+	c.ledger = ledger
+	c.final = fin
+	return nil
+}

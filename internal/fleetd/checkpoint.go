@@ -1,0 +1,307 @@
+package fleetd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Checkpoint directory layout, under the manager's data directory:
+//
+//	<data>/<campaign-id>/campaign.json           submitted spec + name
+//	<data>/<campaign-id>/shard-NNNN/epoch-NNNNNN.ckpt
+//
+// One .ckpt file is one (shard, epoch) cell:
+//
+//	"FWFLTCKP" | u32 version | header frame | device frame... | footer frame | "FWCKDONE"
+//
+// where every frame is [1B type][u32 payload length][payload][u32 CRC32].
+// Files are written to a .tmp sibling and atomically renamed into place
+// only after the end marker, so a crash at any byte leaves either the
+// previous complete file or a .tmp the sweep ignores.
+
+// shardDir and cellPath name the cells.
+func shardDir(campaignDir string, shard int) string {
+	return filepath.Join(campaignDir, fmt.Sprintf("shard-%04d", shard))
+}
+
+func cellPath(campaignDir string, shard, epoch int) string {
+	return filepath.Join(shardDir(campaignDir, shard), fmt.Sprintf("epoch-%06d.ckpt", epoch))
+}
+
+// ckptWriter streams one cell to disk. Device frames may be appended from
+// multiple workers concurrently; finish seals the file and renames it
+// into place.
+type ckptWriter struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	path string
+	tmp  string
+	err  error
+}
+
+func newCkptWriter(path string, hdr fileHeader) (*ckptWriter, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &ckptWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), path: path, tmp: tmp}
+	var e enc
+	e.raw([]byte(fileMagic))
+	e.u32(ckptVersion)
+	w.bw.Write(e.b)
+	e.b = e.b[:0]
+	e.fileHeader(hdr)
+	w.frameLocked(frameHeader, e.b)
+	if w.err != nil {
+		w.abort()
+		return nil, w.err
+	}
+	return w, nil
+}
+
+// frameLocked appends one frame; the caller holds mu (or is the only
+// goroutine with access).
+func (w *ckptWriter) frameLocked(typ byte, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = err
+		return
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(crc[:]); err != nil {
+		w.err = err
+	}
+}
+
+// writeDevice appends one device-state frame. Safe for concurrent use;
+// the record order in the file is whatever order workers finish in, which
+// is fine because every consumer folds records commutatively.
+func (w *ckptWriter) writeDevice(st *deviceState) error {
+	var e enc
+	e.deviceState(st)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.frameLocked(frameDevice, e.b)
+	return w.err
+}
+
+// finish appends the footer frame and the end marker, syncs, and renames
+// the file into place. After finish returns nil the cell is durable.
+func (w *ckptWriter) finish(ft *epochFooter) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var e enc
+	e.footer(ft)
+	w.frameLocked(frameFooter, e.b)
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(endMagic)
+	}
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	if w.err == nil {
+		w.err = w.f.Sync()
+	}
+	if err := w.f.Close(); w.err == nil {
+		w.err = err
+	}
+	if w.err != nil {
+		os.Remove(w.tmp)
+		return w.err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	return nil
+}
+
+// abort discards the partial file.
+func (w *ckptWriter) abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// ckptReader streams a cell's frames back. It verifies structure and CRCs
+// as it goes and classifies every failure as exactly one of the three
+// checkpoint errors.
+type ckptReader struct {
+	f      *os.File
+	br     *bufio.Reader
+	Header fileHeader
+}
+
+// openCell opens a cell file and consumes the magic, version, and header
+// frame. Missing files surface as os.ErrNotExist (the sweep's "cell not
+// done" signal, not a checkpoint error).
+func openCell(path string) (*ckptReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &ckptReader{f: f, br: bufio.NewReaderSize(f, 1<<20)}
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r.br, magic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: short magic", ErrCheckpointTruncated)
+	}
+	if string(magic) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad file magic %q", ErrCheckpointCorrupt, magic)
+	}
+	var verBuf [4]byte
+	if _, err := io.ReadFull(r.br, verBuf[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: short version", ErrCheckpointTruncated)
+	}
+	if v := binary.LittleEndian.Uint32(verBuf[:]); v != ckptVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: file version %d, codec version %d", ErrCheckpointVersion, v, ckptVersion)
+	}
+	typ, payload, err := r.frame()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if typ != frameHeader {
+		f.Close()
+		return nil, fmt.Errorf("%w: first frame type %d, want header", ErrCheckpointCorrupt, typ)
+	}
+	d := dec{b: payload}
+	r.Header = d.fileHeader()
+	if err := d.done(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *ckptReader) Close() error { return r.f.Close() }
+
+// frame reads and CRC-checks the next frame.
+func (r *ckptReader) frame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short frame header", ErrCheckpointTruncated)
+	}
+	typ := hdr[0]
+	if typ != frameHeader && typ != frameDevice && typ != frameFooter {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrCheckpointCorrupt, typ)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: short frame payload", ErrCheckpointTruncated)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short frame checksum", ErrCheckpointTruncated)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return 0, nil, fmt.Errorf("%w: frame checksum %08x, want %08x", ErrCheckpointCorrupt, got, want)
+	}
+	return typ, payload, nil
+}
+
+// scan walks the remaining frames: each device frame is decoded and
+// passed to dev (which may be nil to skip device payload decoding
+// entirely — CRCs are still verified), and the footer ends the walk. The
+// end marker must follow the footer exactly.
+func (r *ckptReader) scan(dev func(*deviceState) error) (*epochFooter, error) {
+	for {
+		typ, payload, err := r.frame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case frameDevice:
+			if dev == nil {
+				continue
+			}
+			d := dec{b: payload}
+			st := d.deviceState()
+			if err := d.done(); err != nil {
+				return nil, err
+			}
+			if err := dev(st); err != nil {
+				return nil, err
+			}
+		case frameFooter:
+			d := dec{b: payload}
+			ft := d.footer()
+			if err := d.done(); err != nil {
+				return nil, err
+			}
+			end := make([]byte, len(endMagic))
+			if _, err := io.ReadFull(r.br, end); err != nil {
+				return nil, fmt.Errorf("%w: missing end marker", ErrCheckpointTruncated)
+			}
+			if string(end) != endMagic {
+				return nil, fmt.Errorf("%w: bad end marker %q", ErrCheckpointCorrupt, end)
+			}
+			if _, err := r.br.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("%w: data past end marker", ErrCheckpointCorrupt)
+			}
+			return ft, nil
+		default:
+			return nil, fmt.Errorf("%w: unexpected %d frame mid-file", ErrCheckpointCorrupt, typ)
+		}
+	}
+}
+
+// loadFooter opens a cell, verifies its identity against hdr's campaign
+// identity fields (Seed, Devices, Days, Shard, Epoch — zero ranges in hdr
+// are not checked), walks every frame for integrity, and returns the
+// footer. It is the sweep's "is this cell done and mine" probe.
+func loadFooter(path string, want fileHeader) (*epochFooter, error) {
+	r, err := openCell(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	h := r.Header
+	if h.Seed != want.Seed || h.Devices != want.Devices || h.Days != want.Days ||
+		h.Shard != want.Shard || h.Epoch != want.Epoch {
+		return nil, fmt.Errorf("%w: cell identity %+v, want %+v", ErrCheckpointCorrupt, h, want)
+	}
+	return r.scan(nil)
+}
+
+// cellUsable classifies a probe result for the sweep: a valid cell is
+// reused, a missing or truncated one is recomputed, and version or
+// corruption errors abort the campaign rather than silently recomputing
+// over storage that is lying.
+func cellUsable(ft *epochFooter, err error) (bool, error) {
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, os.ErrNotExist), errors.Is(err, ErrCheckpointTruncated):
+		return false, nil
+	default:
+		return false, err
+	}
+}

@@ -1,0 +1,158 @@
+package fleetd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is the Go-side counterpart of Server — a thin wrapper the
+// fleetd CLI's client mode drives. Errors from the API surface as
+// *APIError carrying the HTTP status.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:7070".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fleetd: server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and returns the response body on 2xx.
+func (c *Client) do(method, path string, body any) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return nil, &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: string(raw)}
+	}
+	return raw, nil
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	raw, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func (c *Client) postJSON(path string, body any, out any) error {
+	raw, err := c.do(http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func campaignPath(id string, suffix string) string {
+	return "/v1/campaigns/" + url.PathEscape(id) + suffix
+}
+
+// Submit submits a campaign and returns its initial status.
+func (c *Client) Submit(spec CampaignSpec) (Status, error) {
+	var st Status
+	err := c.postJSON("/v1/campaigns", spec, &st)
+	return st, err
+}
+
+// List returns every campaign's status.
+func (c *Client) List() ([]Status, error) {
+	var out []Status
+	err := c.getJSON("/v1/campaigns", &out)
+	return out, err
+}
+
+// Status returns one campaign's status.
+func (c *Client) Status(id string) (Status, error) {
+	var st Status
+	err := c.getJSON(campaignPath(id, ""), &st)
+	return st, err
+}
+
+// SeriesCSV returns the committed day series as CSV.
+func (c *Client) SeriesCSV(id string) ([]byte, error) {
+	return c.do(http.MethodGet, campaignPath(id, "/series"), nil)
+}
+
+// LedgerCSV returns the point-in-time wear ledger as CSV.
+func (c *Client) LedgerCSV(id string) ([]byte, error) {
+	return c.do(http.MethodGet, campaignPath(id, "/ledger"), nil)
+}
+
+// Result returns the final aggregate; an *APIError with status 409 means
+// the campaign is still running.
+func (c *Client) Result(id string) (*Aggregate, error) {
+	var agg Aggregate
+	if err := c.getJSON(campaignPath(id, "/result"), &agg); err != nil {
+		return nil, err
+	}
+	return &agg, nil
+}
+
+// Pause pauses a campaign.
+func (c *Client) Pause(id string) (Status, error) {
+	var st Status
+	err := c.postJSON(campaignPath(id, "/pause"), nil, &st)
+	return st, err
+}
+
+// Resume resumes a paused campaign.
+func (c *Client) Resume(id string) (Status, error) {
+	var st Status
+	err := c.postJSON(campaignPath(id, "/resume"), nil, &st)
+	return st, err
+}
+
+// Fork forks a quiescent campaign and returns the fork's status.
+func (c *Client) Fork(id string, opts ForkOptions) (Status, error) {
+	var st Status
+	err := c.postJSON(campaignPath(id, "/fork"), opts, &st)
+	return st, err
+}

@@ -1,0 +1,608 @@
+package fleetd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"flashwear/internal/ftl"
+	"flashwear/internal/nand"
+	"flashwear/internal/report"
+	"flashwear/internal/wtrace"
+)
+
+// Checkpoint files fail in three distinguishable ways, and the service
+// treats them differently: a version mismatch is an operator problem
+// (old binary, new file — refuse loudly), a truncated file is the normal
+// signature of a crash mid-write (silently recompute the cell), and a
+// corrupt file (bad CRC, bad magic, malformed frame) means the storage
+// under the service is lying (refuse loudly). No error path ever
+// restores a partial state.
+var (
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible codec version.
+	ErrCheckpointVersion = errors.New("fleetd: checkpoint version mismatch")
+	// ErrCheckpointTruncated reports a checkpoint cut short — a missing
+	// end marker or a frame that runs past end of file.
+	ErrCheckpointTruncated = errors.New("fleetd: checkpoint truncated")
+	// ErrCheckpointCorrupt reports a structurally damaged checkpoint:
+	// bad magic, CRC mismatch, or a malformed frame payload.
+	ErrCheckpointCorrupt = errors.New("fleetd: checkpoint corrupt")
+)
+
+// ckptVersion is the codec version stamped after the file magic. Bump on
+// any layout change; old files then fail with ErrCheckpointVersion
+// instead of decoding garbage.
+const ckptVersion = 1
+
+// fileMagic opens every checkpoint file; endMagic closes a complete one.
+// A file without endMagic is a crash artifact by definition.
+const (
+	fileMagic = "FWFLTCKP"
+	endMagic  = "FWCKDONE"
+)
+
+// Frame types. Every frame is [1B type][4B length][payload][4B CRC32].
+const (
+	frameHeader byte = 1
+	frameDevice byte = 2
+	frameFooter byte = 3
+)
+
+// fileHeader identifies the (campaign, shard, epoch) cell a checkpoint
+// belongs to; resume refuses files whose identity doesn't match the
+// campaign asking for them.
+type fileHeader struct {
+	Seed    int64
+	Devices int
+	Days    int
+	Shard   int
+	Epoch   int
+	DevLo   int
+	DevHi   int
+	DayLo   int
+	DayHi   int
+}
+
+// epochFooter is the aggregate trailer of one (shard, epoch) cell — the
+// only part of a checkpoint the fleet-level merge needs. Rows/Wear are
+// the epoch's day series including frozen dead-device contributions;
+// FrozenRows/FrozenWear and Agg are the cumulative carry the next epoch
+// seeds from; Final (present only in the horizon's last epoch) adds the
+// survivors to Agg; Ledger is the point-in-time fleet ledger (dead plus
+// live), for mid-run queries.
+type epochFooter struct {
+	Shard      int
+	Epoch      int
+	DayLo      int
+	DayHi      int
+	Live       int
+	Rows       [][]int64
+	Wear       []report.Sketch
+	FrozenRows []int64
+	FrozenWear report.Sketch
+	Agg        *Aggregate
+	Final      *Aggregate
+	Ledger     wtrace.Snapshot
+}
+
+// enc builds a frame payload. All integers are little-endian and
+// fixed-width: the format trades compactness for a codec whose output is
+// byte-identical for equal states — re-encoding a decoded state must
+// reproduce the input exactly (pinned by tests), which rules out anything
+// order- or history-dependent.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) i32(v int32)   { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)   { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) raw(p []byte) { e.b = append(e.b, p...) }
+
+// dec consumes a frame payload. Overruns latch bad instead of panicking;
+// the caller checks done() once at the end, and any inconsistency maps to
+// ErrCheckpointCorrupt (the CRC already passed, so a malformed payload
+// means a codec mismatch, not bit rot — still not restorable).
+type dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) take(n int) []byte {
+	if d.bad || n < 0 || d.off+n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) u8() byte {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) i64() int64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(p))
+}
+
+func (d *dec) f64() float64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(p))
+}
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+// count reads a u32 length and sanity-caps it against the bytes left, so
+// a garbage length cannot drive a giant allocation.
+func (d *dec) count(perItem int) int {
+	n := int(d.u32())
+	if perItem > 0 && n > len(d.b)-d.off {
+		d.bad = true
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	return string(d.take(n))
+}
+
+// done reports whether the payload decoded cleanly and completely.
+func (d *dec) done() error {
+	if d.bad {
+		return fmt.Errorf("%w: malformed frame payload", ErrCheckpointCorrupt)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes in frame payload", ErrCheckpointCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// ---- sub-codecs ----
+
+func (e *enc) fileHeader(h fileHeader) {
+	e.i64(h.Seed)
+	for _, v := range []int{h.Devices, h.Days, h.Shard, h.Epoch, h.DevLo, h.DevHi, h.DayLo, h.DayHi} {
+		e.i64(int64(v))
+	}
+}
+
+func (d *dec) fileHeader() fileHeader {
+	var h fileHeader
+	h.Seed = d.i64()
+	for _, p := range []*int{&h.Devices, &h.Days, &h.Shard, &h.Epoch, &h.DevLo, &h.DevHi, &h.DayLo, &h.DayHi} {
+		*p = int(d.i64())
+	}
+	return h
+}
+
+func (e *enc) geometry(g nand.Geometry) {
+	for _, v := range []int{g.Dies, g.PlanesPerDie, g.BlocksPerPlane, g.PagesPerBlock, g.PageSize, g.SpareSize} {
+		e.i64(int64(v))
+	}
+}
+
+func (d *dec) geometry() nand.Geometry {
+	var g nand.Geometry
+	for _, p := range []*int{&g.Dies, &g.PlanesPerDie, &g.BlocksPerPlane, &g.PagesPerBlock, &g.PageSize, &g.SpareSize} {
+		*p = int(d.i64())
+	}
+	return g
+}
+
+func (e *enc) nandStats(s nand.Stats) {
+	e.i64(s.Programs)
+	e.i64(s.Reads)
+	e.i64(s.Erases)
+	e.i64(s.ProgramFails)
+	e.i64(s.EraseFails)
+	e.i64(s.UncorrectableReads)
+	e.i64(s.BytesProgrammed)
+	e.i64(int64(s.BadBlocks))
+}
+
+func (d *dec) nandStats() nand.Stats {
+	var s nand.Stats
+	s.Programs = d.i64()
+	s.Reads = d.i64()
+	s.Erases = d.i64()
+	s.ProgramFails = d.i64()
+	s.EraseFails = d.i64()
+	s.UncorrectableReads = d.i64()
+	s.BytesProgrammed = d.i64()
+	s.BadBlocks = int(d.i64())
+	return s
+}
+
+// isZeroPage reports an all-zero payload — the common case for this
+// repo's rewrite workloads, which write zero-filled buffers. Elided pages
+// cost one flag byte instead of PageSize.
+func isZeroPage(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enc) chipState(st *nand.ChipState) {
+	e.geometry(st.Geometry)
+	e.nandStats(st.Stats)
+	e.u32(uint32(len(st.Blocks)))
+	for i := range st.Blocks {
+		b := &st.Blocks[i]
+		e.i64(int64(b.EraseCount))
+		e.f64(b.Healed)
+		e.f64(b.Stress)
+		e.bool(b.Bad)
+		e.i64(int64(b.NextPage))
+		e.i64(int64(b.FirstProg))
+		e.i64(int64(b.LastErase))
+		e.i64(b.Reads)
+		e.bool(b.Meta != nil)
+		if b.Meta != nil {
+			e.u32(uint32(len(b.Meta)))
+			for _, m := range b.Meta {
+				e.i32(m.LP)
+				e.i64(m.Seq)
+				e.u16(m.Org)
+			}
+		}
+		// Page payloads in sorted page order: map iteration order must
+		// never leak into the bytes.
+		pages := make([]int, 0, len(b.Data))
+		for pg := range b.Data {
+			pages = append(pages, pg)
+		}
+		sort.Ints(pages)
+		e.u32(uint32(len(pages)))
+		for _, pg := range pages {
+			e.u32(uint32(pg))
+			data := b.Data[pg]
+			if isZeroPage(data) {
+				e.bool(true)
+			} else {
+				e.bool(false)
+				e.raw(data)
+			}
+		}
+	}
+}
+
+func (d *dec) chipState() *nand.ChipState {
+	st := &nand.ChipState{Geometry: d.geometry(), Stats: d.nandStats()}
+	pageSize := st.Geometry.PageSize
+	if d.bad || pageSize <= 0 {
+		d.bad = true
+		return st
+	}
+	nb := d.count(8)
+	st.Blocks = make([]nand.BlockState, nb)
+	for i := 0; i < nb && !d.bad; i++ {
+		b := &st.Blocks[i]
+		b.EraseCount = int(d.i64())
+		b.Healed = d.f64()
+		b.Stress = d.f64()
+		b.Bad = d.bool()
+		b.NextPage = int(d.i64())
+		b.FirstProg = time.Duration(d.i64())
+		b.LastErase = time.Duration(d.i64())
+		b.Reads = d.i64()
+		if d.bool() {
+			nm := d.count(14)
+			b.Meta = make([]nand.OOB, nm)
+			for j := 0; j < nm && !d.bad; j++ {
+				b.Meta[j].LP = d.i32()
+				b.Meta[j].Seq = d.i64()
+				b.Meta[j].Org = d.u16()
+			}
+		}
+		np := d.count(5)
+		if np > 0 {
+			b.Data = make(map[int][]byte, np)
+		}
+		for j := 0; j < np && !d.bad; j++ {
+			pg := int(d.u32())
+			if d.bool() {
+				b.Data[pg] = make([]byte, pageSize)
+			} else {
+				b.Data[pg] = append([]byte(nil), d.take(pageSize)...)
+			}
+		}
+	}
+	return st
+}
+
+func (e *enc) sketch(s report.Sketch) {
+	e.u32(uint32(len(s.Counts)))
+	e.i64(s.Under)
+	e.i64(s.Over)
+	for _, c := range s.Counts {
+		e.i64(c)
+	}
+}
+
+func (d *dec) sketch() report.Sketch {
+	n := d.count(8)
+	s := report.Sketch{Counts: make([]int64, n)}
+	s.Under = d.i64()
+	s.Over = d.i64()
+	for i := range s.Counts {
+		s.Counts[i] = d.i64()
+	}
+	return s
+}
+
+func (e *enc) histogram(h *report.Histogram) {
+	e.f64(h.Min)
+	e.f64(h.Max)
+	e.sketch(h.Sketch)
+}
+
+func (d *dec) histogram() *report.Histogram {
+	h := &report.Histogram{}
+	h.Min = d.f64()
+	h.Max = d.f64()
+	h.Sketch = d.sketch()
+	return h
+}
+
+func (e *enc) snapshot(s wtrace.Snapshot) {
+	e.i64(s.PageSize)
+	e.u32(uint32(len(s.Rows)))
+	for _, r := range s.Rows {
+		e.str(r.Origin)
+		for _, v := range []int64{r.HostPages, r.HostBytes, r.HostPrograms, r.GCPrograms,
+			r.WLPrograms, r.CachePrograms, r.PhysPages, r.PhysBytes, r.Erases, r.ErasePages} {
+			e.i64(v)
+		}
+	}
+}
+
+func (d *dec) snapshot() wtrace.Snapshot {
+	var s wtrace.Snapshot
+	s.PageSize = d.i64()
+	n := d.count(8)
+	if n > 0 {
+		s.Rows = make([]wtrace.Row, n)
+	}
+	for i := 0; i < n && !d.bad; i++ {
+		r := &s.Rows[i]
+		r.Origin = d.str()
+		for _, p := range []*int64{&r.HostPages, &r.HostBytes, &r.HostPrograms, &r.GCPrograms,
+			&r.WLPrograms, &r.CachePrograms, &r.PhysPages, &r.PhysBytes, &r.Erases, &r.ErasePages} {
+			*p = d.i64()
+		}
+	}
+	return s
+}
+
+func (e *enc) group(g Group) {
+	e.i64(g.Devices)
+	e.i64(g.Bricked)
+	e.i64(g.ReadOnly)
+	e.i64(g.HostMiB)
+	e.i64(g.BrickDayMilli)
+}
+
+func (d *dec) group() Group {
+	var g Group
+	g.Devices = d.i64()
+	g.Bricked = d.i64()
+	g.ReadOnly = d.i64()
+	g.HostMiB = d.i64()
+	g.BrickDayMilli = d.i64()
+	return g
+}
+
+func (e *enc) namedGroups(gs []NamedGroup) {
+	e.u32(uint32(len(gs)))
+	for _, g := range gs {
+		e.str(g.Name)
+		e.group(g.Group)
+	}
+}
+
+func (d *dec) namedGroups() []NamedGroup {
+	n := d.count(5)
+	var gs []NamedGroup
+	for i := 0; i < n && !d.bad; i++ {
+		gs = append(gs, NamedGroup{Name: d.str(), Group: d.group()})
+	}
+	return gs
+}
+
+func (e *enc) aggregate(a *Aggregate) {
+	e.group(a.Total)
+	e.namedGroups(a.ByProfile)
+	e.namedGroups(a.ByClass)
+	e.histogram(a.TimeToBrick)
+	e.histogram(a.DeathGiB)
+	e.histogram(a.SurvivorWear)
+	e.histogram(a.WriteAmp)
+	e.snapshot(a.Ledger)
+}
+
+func (d *dec) aggregate() *Aggregate {
+	a := &Aggregate{}
+	a.Total = d.group()
+	a.ByProfile = d.namedGroups()
+	a.ByClass = d.namedGroups()
+	a.TimeToBrick = d.histogram()
+	a.DeathGiB = d.histogram()
+	a.SurvivorWear = d.histogram()
+	a.WriteAmp = d.histogram()
+	a.Ledger = d.snapshot()
+	return a
+}
+
+func (e *enc) footer(ft *epochFooter) {
+	e.i64(int64(ft.Shard))
+	e.i64(int64(ft.Epoch))
+	e.i64(int64(ft.DayLo))
+	e.i64(int64(ft.DayHi))
+	e.i64(int64(ft.Live))
+	e.u32(uint32(len(ft.Rows)))
+	e.u32(dayCols)
+	for _, r := range ft.Rows {
+		for _, v := range r {
+			e.i64(v)
+		}
+	}
+	for _, s := range ft.Wear {
+		e.sketch(s)
+	}
+	for _, v := range ft.FrozenRows {
+		e.i64(v)
+	}
+	e.sketch(ft.FrozenWear)
+	e.aggregate(ft.Agg)
+	e.bool(ft.Final != nil)
+	if ft.Final != nil {
+		e.aggregate(ft.Final)
+	}
+	e.snapshot(ft.Ledger)
+}
+
+func (d *dec) footer() *epochFooter {
+	ft := &epochFooter{}
+	ft.Shard = int(d.i64())
+	ft.Epoch = int(d.i64())
+	ft.DayLo = int(d.i64())
+	ft.DayHi = int(d.i64())
+	ft.Live = int(d.i64())
+	rows := d.count(8)
+	if cols := d.u32(); cols != dayCols {
+		d.bad = true
+		return ft
+	}
+	ft.Rows = make([][]int64, rows)
+	for i := range ft.Rows {
+		r := make([]int64, dayCols)
+		for j := range r {
+			r[j] = d.i64()
+		}
+		ft.Rows[i] = r
+	}
+	ft.Wear = make([]report.Sketch, rows)
+	for i := range ft.Wear {
+		ft.Wear[i] = d.sketch()
+	}
+	ft.FrozenRows = make([]int64, dayCols)
+	for j := range ft.FrozenRows {
+		ft.FrozenRows[j] = d.i64()
+	}
+	ft.FrozenWear = d.sketch()
+	ft.Agg = d.aggregate()
+	if d.bool() {
+		ft.Final = d.aggregate()
+	}
+	ft.Ledger = d.snapshot()
+	return ft
+}
+
+func (e *enc) ftlStats(s ftl.Stats) {
+	for _, v := range []int64{s.HostPagesWritten, s.HostPagesRead, s.HostBytesWritten,
+		s.GCCopies, s.DrainMigrations, s.CacheAbsorbed, s.CacheBypassed,
+		s.LostPages, s.MergeEvents, s.ReadRetries, s.ProgramRetries, s.Recoveries} {
+		e.i64(v)
+	}
+}
+
+func (d *dec) ftlStats() ftl.Stats {
+	var s ftl.Stats
+	for _, p := range []*int64{&s.HostPagesWritten, &s.HostPagesRead, &s.HostBytesWritten,
+		&s.GCCopies, &s.DrainMigrations, &s.CacheAbsorbed, &s.CacheBypassed,
+		&s.LostPages, &s.MergeEvents, &s.ReadRetries, &s.ProgramRetries, &s.Recoveries} {
+		*p = d.i64()
+	}
+	return s
+}
+
+func (e *enc) deviceState(st *deviceState) {
+	e.i64(int64(st.Index))
+	e.i64(int64(st.DaysDone))
+	e.i64(int64(st.Now))
+	e.i64(int64(st.WorkStart))
+	e.i64(st.BytesWritten)
+	e.i64(st.BytesRead)
+	e.i64(int64(st.Busy))
+	e.i64(int64(st.FSWrites))
+	e.ftlStats(st.FTLStats)
+	e.i64(st.GCCopies)
+	e.snapshot(st.Ledger)
+	e.chipState(st.Main)
+	e.bool(st.Cache != nil)
+	if st.Cache != nil {
+		e.chipState(st.Cache)
+	}
+}
+
+func (d *dec) deviceState() *deviceState {
+	st := &deviceState{}
+	st.Index = int(d.i64())
+	st.DaysDone = int(d.i64())
+	st.Now = time.Duration(d.i64())
+	st.WorkStart = time.Duration(d.i64())
+	st.BytesWritten = d.i64()
+	st.BytesRead = d.i64()
+	st.Busy = time.Duration(d.i64())
+	st.FSWrites = int(d.i64())
+	st.FTLStats = d.ftlStats()
+	st.GCCopies = d.i64()
+	st.Ledger = d.snapshot()
+	st.Main = d.chipState()
+	if d.bool() {
+		st.Cache = d.chipState()
+	}
+	return st
+}

@@ -1,0 +1,178 @@
+package fleetd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// realCell runs a tiny disk-backed campaign and returns the path of one
+// completed cell — real device states, not synthetic fixtures, so the
+// codec tests cover everything a production checkpoint contains.
+func realCell(t *testing.T) string {
+	t.Helper()
+	spec := tinySpec()
+	spec.Devices = 2
+	spec.Days = 2
+	spec.CheckpointEvery = 1
+	dir := t.TempDir()
+	runToEnd(t, dir, spec)
+	return cellPath(filepath.Join(dir, "c000001"), 0, 1)
+}
+
+// TestCodecReencodeIdentity pins the property resume correctness leans
+// on: decoding a checkpoint and re-encoding every frame reproduces the
+// original payload bytes exactly — no map-order, float-formatting, or
+// history dependence anywhere in the codec.
+func TestCodecReencodeIdentity(t *testing.T) {
+	path := realCell(t)
+	r, err := openCell(path)
+	if err != nil {
+		t.Fatalf("openCell: %v", err)
+	}
+	defer r.Close()
+
+	var he enc
+	he.fileHeader(r.Header)
+	hd := dec{b: he.b}
+	if got := hd.fileHeader(); got != r.Header || hd.done() != nil {
+		t.Errorf("file header round-trip: got %+v, want %+v", got, r.Header)
+	}
+
+	devices := 0
+	for {
+		typ, payload, err := r.frame()
+		if err != nil {
+			t.Fatalf("frame: %v", err)
+		}
+		var re enc
+		switch typ {
+		case frameDevice:
+			devices++
+			d := dec{b: payload}
+			st := d.deviceState()
+			if err := d.done(); err != nil {
+				t.Fatalf("device decode: %v", err)
+			}
+			re.deviceState(st)
+		case frameFooter:
+			d := dec{b: payload}
+			ft := d.footer()
+			if err := d.done(); err != nil {
+				t.Fatalf("footer decode: %v", err)
+			}
+			re.footer(ft)
+			if !bytes.Equal(re.b, payload) {
+				t.Fatal("footer re-encode differs from original payload")
+			}
+			if devices == 0 {
+				t.Fatal("cell contained no device frames")
+			}
+			return
+		default:
+			t.Fatalf("unexpected frame type %d", typ)
+		}
+		if !bytes.Equal(re.b, payload) {
+			t.Fatal("device re-encode differs from original payload")
+		}
+	}
+}
+
+// TestCheckpointCorruptionTable is the satellite's corruption matrix:
+// each damage pattern must map to its designated sentinel, and nothing
+// may decode.
+func TestCheckpointCorruptionTable(t *testing.T) {
+	pristine, err := os.ReadFile(realCell(t))
+	if err != nil {
+		t.Fatalf("read cell: %v", err)
+	}
+	probe := func(t *testing.T, raw []byte) error {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "cell.ckpt")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("write damaged cell: %v", err)
+		}
+		r, err := openCell(path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		_, err = r.scan(nil)
+		return err
+	}
+	for _, tc := range []struct {
+		name   string
+		damage func([]byte) []byte
+		want   error
+	}{
+		{"pristine", func(b []byte) []byte { return b }, nil},
+		{"empty file", func(b []byte) []byte { return nil }, ErrCheckpointTruncated},
+		{"cut mid-frame", func(b []byte) []byte { return b[:len(b)/2] }, ErrCheckpointTruncated},
+		{"missing end marker", func(b []byte) []byte { return b[:len(b)-len(endMagic)] }, ErrCheckpointTruncated},
+		{"short magic", func(b []byte) []byte { return b[:4] }, ErrCheckpointTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrCheckpointCorrupt},
+		{"version bump", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(fileMagic):], ckptVersion+1)
+			return b
+		}, ErrCheckpointVersion},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }, ErrCheckpointCorrupt},
+		{"bad end marker", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, ErrCheckpointCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0) }, ErrCheckpointCorrupt},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := probe(t, tc.damage(append([]byte(nil), pristine...)))
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("pristine cell failed to load: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got error %v, want %v", err, tc.want)
+			}
+			// The three sentinels are mutually exclusive by construction.
+			for _, other := range []error{ErrCheckpointVersion, ErrCheckpointTruncated, ErrCheckpointCorrupt} {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("error %v also matches %v", err, other)
+				}
+			}
+		})
+	}
+}
+
+// TestCellIdentityCheck: a structurally valid cell belonging to a
+// different campaign must be refused, not resumed from.
+func TestCellIdentityCheck(t *testing.T) {
+	path := realCell(t)
+	r, err := openCell(path)
+	if err != nil {
+		t.Fatalf("openCell: %v", err)
+	}
+	want := r.Header
+	r.Close()
+	want.Seed++
+	if _, err := loadFooter(path, want); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("foreign cell loaded with error %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestZeroPageElision pins the encoding detail directly: an all-zero
+// page costs a flag byte, a non-zero page costs PageSize+flag, and both
+// round-trip.
+func TestZeroPageElision(t *testing.T) {
+	var e enc
+	zero := make([]byte, 64)
+	data := make([]byte, 64)
+	data[7] = 9
+	if !isZeroPage(zero) || isZeroPage(data) {
+		t.Fatal("isZeroPage misclassifies")
+	}
+	e.bool(isZeroPage(zero))
+	if len(e.b) != 1 {
+		t.Fatalf("zero page encoded %d bytes, want 1", len(e.b))
+	}
+}

@@ -1,0 +1,190 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes a Manager over HTTP/JSON — the control and query plane
+// of a fleetd instance:
+//
+//	POST /v1/campaigns            submit a CampaignSpec, returns Status
+//	GET  /v1/campaigns            list campaign Statuses
+//	GET  /v1/campaigns/{id}       one campaign's Status
+//	GET  /v1/campaigns/{id}/series  committed day series (CSV; ?format=json)
+//	GET  /v1/campaigns/{id}/ledger  point-in-time wear ledger (CSV; ?format=json)
+//	GET  /v1/campaigns/{id}/result  final Aggregate (JSON; 409 until done)
+//	POST /v1/campaigns/{id}/pause
+//	POST /v1/campaigns/{id}/resume
+//	POST /v1/campaigns/{id}/fork  body ForkOptions, returns the fork's Status
+//
+// Every query serves committed state under the campaign mutex, so
+// polling mid-run never observes a half-merged epoch.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wraps a manager in an HTTP handler.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.list)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/series", s.series)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/ledger", s.ledger)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.result)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/pause", s.pause)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.resume)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/fork", s.fork)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// campaign resolves {id} or replies 404.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.mgr.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	c, err := s.mgr.Submit(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	campaigns := s.mgr.List()
+	out := make([]Status, len(campaigns))
+	for i, c := range campaigns {
+		out[i] = c.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) series(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	series := c.Series()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, series)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	series.WriteCSV(w)
+}
+
+func (s *Server) ledger(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	ledger := c.Ledger()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		ledger.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	ledger.WriteCSV(w)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	agg, final := c.Aggregate()
+	if !final {
+		writeErr(w, http.StatusConflict, fmt.Errorf("campaign %s is %s; no final result yet", c.ID(), c.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func (s *Server) pause(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	c.Pause()
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	if err := c.Resume(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) fork(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	var opts ForkOptions
+	if err := json.NewDecoder(r.Body).Decode(&opts); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding fork options: %w", err))
+		return
+	}
+	fk, err := s.mgr.Fork(c.ID(), opts)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errRunning) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fk.Status())
+}

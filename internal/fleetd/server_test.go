@@ -1,0 +1,124 @@
+package fleetd
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerAPI drives the full control/query surface through a real
+// HTTP round trip: submit, poll, series, ledger, result, pause/resume
+// conflict handling, and fork.
+func TestServerAPI(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL}
+
+	spec := tinySpec()
+	spec.CheckpointEvery = 2
+	st, err := cl.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID == "" || st.Devices != 4 || st.Days != 5 {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// Invalid specs are a 400 with a useful message.
+	bad := spec
+	bad.Days = 0
+	if _, err := cl.Submit(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	} else if ae, ok := err.(*APIError); !ok || ae.StatusCode != 400 {
+		t.Fatalf("invalid spec error = %v, want APIError 400", err)
+	}
+
+	// Wait server-side via the in-process handle (the CLI polls; tests
+	// shouldn't).
+	c, ok := m.Get(st.ID)
+	if !ok {
+		t.Fatalf("campaign %s not in manager", st.ID)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatalf("campaign failed: %v", err)
+	}
+
+	got, err := cl.Status(st.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if got.State != StateDone || got.DaysDone != 5 {
+		t.Fatalf("status after completion = %+v", got)
+	}
+
+	list, err := cl.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	csv, err := cl.SeriesCSV(st.ID)
+	if err != nil {
+		t.Fatalf("SeriesCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 6 || !strings.HasPrefix(lines[0], "day,devices,bricked,read_only,") {
+		t.Fatalf("series CSV:\n%s", csv)
+	}
+
+	ledger, err := cl.LedgerCSV(st.ID)
+	if err != nil {
+		t.Fatalf("LedgerCSV: %v", err)
+	}
+	if !strings.Contains(string(ledger), "origin") {
+		t.Fatalf("ledger CSV missing header:\n%s", ledger)
+	}
+
+	agg, err := cl.Result(st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if agg.Total.Devices != 4 {
+		t.Fatalf("result devices = %d, want 4", agg.Total.Devices)
+	}
+
+	// Resume of a done campaign conflicts.
+	if _, err := cl.Resume(st.ID); err == nil {
+		t.Fatal("resume of a done campaign succeeded")
+	} else if ae, ok := err.(*APIError); !ok || ae.StatusCode != 409 {
+		t.Fatalf("resume conflict error = %v, want APIError 409", err)
+	}
+
+	// Pause of a done campaign is a harmless no-op.
+	if _, err := cl.Pause(st.ID); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+
+	fkSt, err := cl.Fork(st.ID, ForkOptions{Name: "fork", Days: 7})
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	fk, ok := m.Get(fkSt.ID)
+	if !ok {
+		t.Fatalf("fork %s not in manager", fkSt.ID)
+	}
+	if err := fk.Wait(); err != nil {
+		t.Fatalf("fork failed: %v", err)
+	}
+	if got, _ := cl.Status(fkSt.ID); got.DaysDone != 7 {
+		t.Fatalf("fork days_done = %d, want 7", got.DaysDone)
+	}
+
+	// Unknown campaign is a 404 everywhere.
+	if _, err := cl.Status("c999999"); err == nil {
+		t.Fatal("status of unknown campaign succeeded")
+	} else if ae, ok := err.(*APIError); !ok || ae.StatusCode != 404 {
+		t.Fatalf("unknown campaign error = %v, want APIError 404", err)
+	}
+}

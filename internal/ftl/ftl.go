@@ -259,6 +259,17 @@ func (f *FTL) Merged() bool { return f.merged }
 // Stats returns a snapshot of FTL counters.
 func (f *FTL) Stats() Stats { return f.stats }
 
+// RestoreStats overwrites the cumulative activity counters with s and the
+// main pool's GC-copy counter with gcCopies — the checkpoint-resume
+// counterpart to Recover, which rebuilds mapping state from the chips but
+// cannot know how much host traffic the previous process had served.
+// Restore before the post-import Recover call, so counters like
+// Recoveries keep accumulating on top of the restored values.
+func (f *FTL) RestoreStats(s Stats, gcCopies int64) {
+	f.stats = s
+	f.main.gcCopies = gcCopies
+}
+
 // MainChip exposes the Type B chip for wear inspection.
 func (f *FTL) MainChip() *nand.Chip { return f.main.chip }
 

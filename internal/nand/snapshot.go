@@ -1,0 +1,138 @@
+package nand
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// BlockState is the persistent state of one block: everything a power cut
+// cannot erase. It mirrors the chip's internal block bookkeeping with
+// exported fields so a snapshot codec outside this package can serialise
+// it. Meta holds only the programmed prefix (NextPage entries); pages past
+// the prefix carry no metadata by construction.
+type BlockState struct {
+	EraseCount int
+	Healed     float64
+	Stress     float64
+	Bad        bool
+	NextPage   int
+	FirstProg  time.Duration
+	LastErase  time.Duration
+	Reads      int64
+	Meta       []OOB          // nil, or exactly NextPage entries
+	Data       map[int][]byte // page payloads, deep-copied
+}
+
+// ChipState is a chip's complete persistent state: per-block state plus
+// the cumulative activity counters. Together with the OOB-scan recovery in
+// internal/ftl it is the serialization seam for checkpoint/resume — an
+// imported chip is indistinguishable from one that lost power between
+// operations, so ftl.Recover rebuilds every volatile structure above it.
+type ChipState struct {
+	Geometry Geometry
+	Stats    Stats
+	Blocks   []BlockState
+}
+
+// ExportState captures the chip's persistent state. The copy is deep: the
+// caller may keep using the chip, and the snapshot never aliases it.
+func (c *Chip) ExportState() *ChipState {
+	st := &ChipState{
+		Geometry: c.geo,
+		Stats:    c.stats,
+		Blocks:   make([]BlockState, len(c.blocks)),
+	}
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		bs := BlockState{
+			EraseCount: b.eraseCount,
+			Healed:     b.healed,
+			Stress:     b.stress,
+			Bad:        b.bad,
+			NextPage:   b.nextPage,
+			FirstProg:  b.firstProg,
+			LastErase:  b.lastErase,
+			Reads:      b.reads,
+		}
+		if b.meta != nil {
+			bs.Meta = append([]OOB(nil), b.meta[:b.nextPage]...)
+		}
+		if b.data != nil {
+			bs.Data = make(map[int][]byte, len(b.data))
+			for pg, d := range b.data {
+				bs.Data[pg] = append([]byte(nil), d...)
+			}
+		}
+		st.Blocks[i] = bs
+	}
+	return st
+}
+
+// ImportState replaces the chip's persistent state with st. The chip must
+// have been built with the same geometry (same profile, same scale); the
+// RNG is left untouched — callers that need deterministic post-import
+// behaviour should Reseed. The state is deep-copied in, so the caller may
+// reuse or discard st freely.
+func (c *Chip) ImportState(st *ChipState) error {
+	if st.Geometry != c.geo {
+		return fmt.Errorf("nand: ImportState: geometry mismatch: chip %+v, state %+v", c.geo, st.Geometry)
+	}
+	if len(st.Blocks) != len(c.blocks) {
+		return fmt.Errorf("nand: ImportState: %d blocks in state, chip has %d", len(st.Blocks), len(c.blocks))
+	}
+	for i := range st.Blocks {
+		bs := &st.Blocks[i]
+		if bs.NextPage < 0 || bs.NextPage > c.geo.PagesPerBlock {
+			return fmt.Errorf("nand: ImportState: block %d: NextPage %d out of range [0,%d]", i, bs.NextPage, c.geo.PagesPerBlock)
+		}
+		if bs.Meta != nil && len(bs.Meta) != bs.NextPage {
+			return fmt.Errorf("nand: ImportState: block %d: %d meta entries, want %d", i, len(bs.Meta), bs.NextPage)
+		}
+		for pg, d := range bs.Data {
+			if pg < 0 || pg >= bs.NextPage {
+				return fmt.Errorf("nand: ImportState: block %d: data for unprogrammed page %d", i, pg)
+			}
+			if len(d) != c.geo.PageSize {
+				return fmt.Errorf("nand: ImportState: block %d page %d: %d data bytes, want %d", i, pg, len(d), c.geo.PageSize)
+			}
+		}
+	}
+	c.stats = st.Stats
+	for i := range st.Blocks {
+		bs := &st.Blocks[i]
+		b := &c.blocks[i]
+		b.eraseCount = bs.EraseCount
+		b.healed = bs.Healed
+		b.stress = bs.Stress
+		b.bad = bs.Bad
+		b.nextPage = bs.NextPage
+		b.firstProg = bs.FirstProg
+		b.lastErase = bs.LastErase
+		b.reads = bs.Reads
+		b.meta = nil
+		if bs.Meta != nil {
+			b.meta = make([]OOB, c.geo.PagesPerBlock)
+			for p := range b.meta {
+				b.meta[p].LP = -1
+			}
+			copy(b.meta, bs.Meta)
+		}
+		b.data = nil
+		if bs.Data != nil {
+			b.data = make(map[int][]byte, len(bs.Data))
+			for pg, d := range bs.Data {
+				b.data[pg] = append([]byte(nil), d...)
+			}
+		}
+	}
+	return nil
+}
+
+// Reseed replaces the chip's RNG stream. Resume paths use it to make
+// post-import stochastic behaviour (program/erase failure draws, sampled
+// bit errors) a pure function of (device seed, resume point) rather than
+// of however many draws the previous process had consumed.
+func (c *Chip) Reseed(seed int64) {
+	c.rng = rand.New(rand.NewSource(seed))
+}

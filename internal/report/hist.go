@@ -12,11 +12,12 @@ import (
 // exactly associative and commutative: merging per-worker histograms yields
 // byte-identical results regardless of how a fleet run was partitioned —
 // the property the fleet determinism tests assert.
+// The bucket counts live in an embedded Sketch (see sketch.go), so the
+// merge core is shared with fleetd's streaming aggregates; Counts, Under,
+// and Over remain accessible as promoted fields.
 type Histogram struct {
 	Min, Max float64
-	Counts   []int64
-	Under    int64
-	Over     int64
+	Sketch
 }
 
 // NewHistogram creates a histogram with the given bucket count over
@@ -29,7 +30,7 @@ func NewHistogram(min, max float64, buckets int) *Histogram {
 	if !(max > min) {
 		panic(fmt.Sprintf("report: NewHistogram: empty range [%g, %g)", min, max))
 	}
-	return &Histogram{Min: min, Max: max, Counts: make([]int64, buckets)}
+	return &Histogram{Min: min, Max: max, Sketch: NewSketch(buckets)}
 }
 
 // BucketWidth returns the width of one bucket.
@@ -56,28 +57,13 @@ func (h *Histogram) AddN(v float64, n int64) {
 	}
 }
 
-// Total returns the number of recorded observations, including under- and
-// overflow.
-func (h *Histogram) Total() int64 {
-	t := h.Under + h.Over
-	for _, c := range h.Counts {
-		t += c
-	}
-	return t
-}
-
 // Merge adds o's counts into h. The two histograms must share a geometry.
 func (h *Histogram) Merge(o *Histogram) error {
 	if o.Min != h.Min || o.Max != h.Max || len(o.Counts) != len(h.Counts) {
 		return fmt.Errorf("report: Merge: geometry mismatch [%g,%g)x%d vs [%g,%g)x%d",
 			h.Min, h.Max, len(h.Counts), o.Min, o.Max, len(o.Counts))
 	}
-	h.Under += o.Under
-	h.Over += o.Over
-	for i, c := range o.Counts {
-		h.Counts[i] += c
-	}
-	return nil
+	return h.MergeSketch(o.Sketch)
 }
 
 // Percentile returns the value below which fraction p (in [0, 1]) of the

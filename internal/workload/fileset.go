@@ -104,6 +104,26 @@ func (s *FileSet) Step(budget int64) (int64, error) {
 	return written, nil
 }
 
+// Reseed replaces the offset RNG. Checkpoint-resume re-creates the set
+// each simulated day and reseeds from (device seed, day), so the rewrite
+// offset stream is a pure function of the resume point rather than of how
+// many draws the previous process had consumed.
+func (s *FileSet) Reseed(seed int64) {
+	s.rng = rand.New(rand.NewSource(seed))
+}
+
+// Writes returns the cumulative rewrite count (the SyncEvery phase).
+func (s *FileSet) Writes() int { return s.writes }
+
+// Restore marks the set as initialised without re-filling the files —
+// the resume counterpart of Setup, for a set whose files already exist on
+// the (recovered) file system. writes restores the rewrite counter so the
+// SyncEvery phase continues where it left off. Call before Reattach.
+func (s *FileSet) Restore(writes int) {
+	s.buf = make([]byte, s.ReqBytes)
+	s.writes = writes
+}
+
 // Reattach re-opens the set's files by path on fsys — used after a crash
 // or power-loss remount invalidates the previous mount's handles. A file
 // whose creation did not survive the crash (the cut landed mid-Setup) is

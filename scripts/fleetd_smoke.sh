@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# fleetd end-to-end smoke: submit a checkpointed campaign, kill -9 the
+# server mid-run, restart it, resume, and require the final artifacts —
+# day series, wear ledger, final aggregate — to be byte-identical to an
+# uninterrupted run of the same campaign. This is the ISSUE's
+# kill-and-resume acceptance check at CI scale; the in-process
+# equivalents (more seeds, more shard/worker shapes) live in
+# internal/fleetd's tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=fleetd-smoke-out
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+go build -o "$OUT/fleetd" ./cmd/fleetd
+
+ADDR="127.0.0.1:${FLEETD_SMOKE_PORT:-17071}"
+BASE="http://$ADDR"
+SPEC='{"name":"smoke","devices":6,"days":12,"seed":7,"scale":65536,"buggy":0.2,"attack":0.2,"wear_trace":true,"shards":2,"workers":2,"checkpoint_every":2}'
+
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_server() { # $1 = data dir
+    "$OUT/fleetd" serve -addr "$ADDR" -data "$1" 2>>"$OUT/server.log" &
+    SERVER_PID=$!
+    for _ in $(seq 1 50); do
+        if curl -sf "$BASE/v1/campaigns" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "fleetd_smoke: server did not come up on $ADDR" >&2
+    exit 1
+}
+
+fetch_artifacts() { # $1 = campaign id, $2 = prefix
+    curl -sf "$BASE/v1/campaigns/$1/series" >"$OUT/$2-series.csv"
+    curl -sf "$BASE/v1/campaigns/$1/ledger" >"$OUT/$2-ledger.csv"
+    curl -sf "$BASE/v1/campaigns/$1/result" >"$OUT/$2-result.json"
+}
+
+echo "fleetd_smoke: reference run (uninterrupted)"
+start_server "$OUT/data-ref"
+REF_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+"$OUT/fleetd" wait -addr "$BASE" -every 500ms "$REF_ID" >/dev/null
+fetch_artifacts "$REF_ID" ref
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+echo "fleetd_smoke: interrupted run (kill -9 mid-campaign)"
+start_server "$OUT/data-crash"
+CRASH_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+sleep 1.5  # let it commit some epochs, then die mid-write
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+echo "fleetd_smoke: restart, resume, finish"
+start_server "$OUT/data-crash"
+STATE=$(curl -sf "$BASE/v1/campaigns/$CRASH_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+[ "$STATE" = "paused" ] || { echo "fleetd_smoke: adopted state = $STATE, want paused" >&2; exit 1; }
+curl -sf -X POST "$BASE/v1/campaigns/$CRASH_ID/resume" >/dev/null
+"$OUT/fleetd" wait -addr "$BASE" -every 500ms "$CRASH_ID" >/dev/null
+fetch_artifacts "$CRASH_ID" crash
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+cmp "$OUT/ref-series.csv" "$OUT/crash-series.csv"
+cmp "$OUT/ref-ledger.csv" "$OUT/crash-ledger.csv"
+cmp "$OUT/ref-result.json" "$OUT/crash-result.json"
+echo "fleetd_smoke: OK — kill -9 + resume is byte-identical to the uninterrupted run"
