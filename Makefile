@@ -67,10 +67,13 @@ wtrace:
 	./wtrace-out/wtracecheck -ledger wtrace-out/flashsim-ledger.csv -trace wtrace-out/flashsim-trace.json
 	./wtrace-out/wtracecheck -ledger wtrace-out/fleet-ledger-w1.csv
 
-# fleetd end-to-end smoke (DESIGN.md §11): start the campaign service,
-# submit a checkpointed campaign, kill -9 the server mid-run, restart,
-# resume, and require the final series/ledger/result byte-identical to an
-# uninterrupted run. Artifacts land in fleetd-smoke-out/.
+# fleetd end-to-end smoke (DESIGN.md §11, §12): start the campaign
+# service, submit a checkpointed campaign, kill -9 the server mid-run,
+# restart, resume, and require the final series/ledger/result — and the
+# sim-domain journal events — byte-identical to an uninterrupted run,
+# with the event journal contiguously sequenced across the kill and
+# /metrics serving the ops families. Runs in a mktemp -d scratch dir;
+# set FLEETD_SMOKE_ARTIFACTS to keep the fetched artifacts (CI does).
 fleetd-smoke:
 	./scripts/fleetd_smoke.sh
 

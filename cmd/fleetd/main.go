@@ -21,6 +21,8 @@
 //	fleetd resume <id>
 //	fleetd fork <id> -days 730 -faults "read=1e-4"
 //	fleetd wait <id>          # poll until done/failed/paused
+//	fleetd events <id>        # journal events so far, JSON on stdout
+//	fleetd watch <id>         # live event stream, one line per event
 //
 // Exit codes: 0 on success, 1 on runtime or server error, 2 on usage
 // error.
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"flashwear/internal/fleetd"
+	"flashwear/internal/obs"
 )
 
 func main() {
@@ -94,6 +97,10 @@ func main() {
 		err = fork(args)
 	case "wait":
 		err = wait(args)
+	case "events":
+		err = events(args)
+	case "watch":
+		err = watch(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -123,6 +130,8 @@ commands:
   resume   resume a paused campaign
   fork     fork a quiescent campaign
   wait     poll until a campaign stops running
+  events   print a campaign's journal events (JSON)
+  watch    stream a campaign's events live until it stops
 
 run "fleetd <command> -h" for the command's flags.`)
 }
@@ -148,6 +157,7 @@ func serve(args []string) error {
 				st.ID, st.Name, st.Devices, st.Days)
 		}
 	}
+	mgr.SetLogger(obs.NewLogger(os.Stderr))
 	fmt.Fprintf(os.Stderr, "fleetd: listening on %s (data: %q)\n", *addr, *data)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -305,6 +315,80 @@ func wait(args []string) error {
 		fmt.Fprintf(os.Stderr, "fleetd: %s: day %d/%d, %d bricked\n", id, st.DaysDone, st.Days, st.Bricked)
 		//flashvet:ignore wallclock client-side poll pacing against a remote server; no simulation results flow through it
 		time.Sleep(*every)
+	}
+}
+
+func events(args []string) error {
+	fs := newFlagSet("events")
+	addr := clientFlags(fs)
+	since := fs.Uint64("since", 0, "only events with seq > since")
+	fs.parse(args)
+	id, err := fs.arg(0, "campaign id")
+	if err != nil {
+		return err
+	}
+	cl := &fleetd.Client{BaseURL: *addr}
+	evs, err := cl.Events(id, *since)
+	if err != nil {
+		return err
+	}
+	return printJSON(evs)
+}
+
+// watch tails a campaign's journal over SSE, rendering one line per
+// event, until the campaign reaches done/failed/paused. It reconnects
+// from the last seen sequence number if the stream drops mid-run.
+func watch(args []string) error {
+	fs := newFlagSet("watch")
+	addr := clientFlags(fs)
+	since := fs.Uint64("since", 0, "resume the stream after this seq")
+	fs.parse(args)
+	id, err := fs.arg(0, "campaign id")
+	if err != nil {
+		return err
+	}
+	cl := &fleetd.Client{BaseURL: *addr}
+	last := *since
+	var errStop = fmt.Errorf("campaign stopped")
+	var failure error
+	for {
+		err := cl.Watch(id, last, func(e obs.Event) error {
+			last = e.Seq
+			line := fmt.Sprintf("%s  #%d %s", time.UnixMilli(e.WallMs).UTC().Format("15:04:05"), e.Seq, e.Type)
+			if e.Day > 0 {
+				line += fmt.Sprintf(" day=%d", e.Day)
+			}
+			if e.Epoch > 0 {
+				line += fmt.Sprintf(" shard=%d epoch=%d", e.Shard, e.Epoch)
+			}
+			if e.Rule != "" {
+				line += fmt.Sprintf(" rule=%s value=%s", e.Rule, e.Value)
+			}
+			if e.Detail != "" {
+				line += " " + e.Detail
+			}
+			fmt.Println(line)
+			switch e.Type {
+			case "done", "paused":
+				return errStop
+			case "failed":
+				failure = fmt.Errorf("campaign %s failed: %s", id, e.Detail)
+				return errStop
+			}
+			return nil
+		})
+		if err == errStop {
+			return failure
+		}
+		if err != nil {
+			return err
+		}
+		// Clean stream end without a terminal event: the server dropped a
+		// slow subscriber or restarted. Back off briefly, then resume from
+		// the last seen seq.
+		fmt.Fprintf(os.Stderr, "fleetd: watch: stream ended, reconnecting from seq %d\n", last)
+		//flashvet:ignore wallclock client-side reconnect backoff against a remote server; no simulation results flow through it
+		time.Sleep(time.Second)
 	}
 }
 

@@ -7,11 +7,29 @@
 // arithmetic remain fine — only sources of real time (and real delays) are
 // banned. Test files are exempt: harness timeouts and benchmarks
 // legitimately watch the host clock.
+//
+// Ops-plane packages — code that measures the real process rather than
+// the simulated one (DESIGN.md §12) — opt out with a package-level
+// declaration:
+//
+//	//flashvet:ops-domain <reason>
+//
+// A package carrying one well-formed declaration may use the host clock
+// freely; the reason is mandatory, exactly as for //flashvet:ignore. The
+// declaration is deliberately coarse (whole package, not one line): a
+// package is either in the sim domain or out of it, and a package that is
+// out must say what it is instead.
+//
+// To stop sim code laundering host time through the ops plane, the
+// analyzer also bans obs.WallNow — the ops plane's only exported raw
+// clock source — outside ops-domain packages, with the same severity as
+// time.Now itself.
 package wallclock
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"flashwear/internal/analysis"
 )
@@ -31,29 +49,79 @@ var banned = map[string]bool{
 	"NewTicker": true,
 }
 
+// opsSources are clock sources exported by ops-plane packages: calling
+// one from a non-ops-domain package smuggles wall-clock time into
+// simulation code just as surely as time.Now does.
+var opsSources = map[string]map[string]bool{
+	"flashwear/internal/obs": {"WallNow": true},
+}
+
+// opsDomainPrefix is the package-level opt-out declaration.
+const opsDomainPrefix = "flashvet:ops-domain"
+
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock time in simulation code\n\n" +
 		"Simulated time comes from the injected simclock.Clock; time.Now,\n" +
 		"time.Since, time.Sleep and the timer constructors read host state\n" +
-		"and break bit-exact replay.",
+		"and break bit-exact replay. Ops-plane packages opt out with a\n" +
+		"//flashvet:ops-domain <reason> declaration.",
 	Run: run,
 }
 
+// opsDomain scans the package for //flashvet:ops-domain declarations,
+// reporting malformed ones (no reason) as findings. It returns true only
+// when at least one well-formed declaration exists — a malformed one
+// grants nothing.
+func opsDomain(pass *analysis.Pass) bool {
+	declared := false
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+opsDomainPrefix)
+				if !ok {
+					continue
+				}
+				// An embedded "//" ends the declaration, like ignore
+				// directives: what follows is commentary, not reason.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				if text != "" && !strings.HasPrefix(text, " ") && !strings.HasPrefix(text, "\t") {
+					pass.Reportf(c.Pos(), "malformed %s declaration: want //%s <reason>", opsDomainPrefix, opsDomainPrefix)
+					continue
+				}
+				if strings.TrimSpace(text) == "" {
+					pass.Reportf(c.Pos(), "%s declaration has no reason: say what this package measures instead of simulating", opsDomainPrefix)
+					continue
+				}
+				declared = true
+			}
+		}
+	}
+	return declared
+}
+
 func run(pass *analysis.Pass) error {
+	exempt := opsDomain(pass)
 	pass.Inspect(func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
 		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+		if !ok || fn.Pkg() == nil {
 			return true
 		}
-		if pass.IsTestFile(sel.Pos()) {
+		if exempt || pass.IsTestFile(sel.Pos()) {
 			return true
 		}
-		pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code: use the injected simclock.Clock", fn.Name())
+		switch {
+		case fn.Pkg().Path() == "time" && banned[fn.Name()]:
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code: use the injected simclock.Clock", fn.Name())
+		case opsSources[fn.Pkg().Path()][fn.Name()]:
+			pass.Reportf(sel.Pos(), "ops-plane clock source %s.%s in simulation code: only //flashvet:ops-domain packages may read host time", fn.Pkg().Name(), fn.Name())
+		}
 		return true
 	})
 	return nil

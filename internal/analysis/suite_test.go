@@ -26,6 +26,18 @@ func TestWallclockFixture(t *testing.T) {
 	checktest.Run(t, "./testdata/src/wallclock", wallclock.Analyzer)
 }
 
+// TestWallclockOpsDomainFixture pins the //flashvet:ops-domain opt-out: a
+// declared ops-plane package uses the host clock with no findings.
+func TestWallclockOpsDomainFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/wallclockops", wallclock.Analyzer)
+}
+
+// TestWallclockOpsDomainBadFixture pins the failure mode: a declaration
+// without a reason is itself a finding and grants no exemption.
+func TestWallclockOpsDomainBadFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/wallclockopsbad", wallclock.Analyzer)
+}
+
 func TestGlobalrandFixture(t *testing.T) {
 	checktest.Run(t, "./testdata/src/globalrand", globalrand.Analyzer)
 }

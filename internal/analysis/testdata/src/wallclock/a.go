@@ -2,7 +2,11 @@
 // are banned in simulation code; duration arithmetic is not.
 package a
 
-import "time"
+import (
+	"time"
+
+	"flashwear/internal/obs"
+)
 
 func sim() time.Duration {
 	start := time.Now()          // want `wall-clock time\.Now`
@@ -26,4 +30,11 @@ func constructed() time.Time {
 func waived() time.Time {
 	//flashvet:ignore wallclock operator-facing log timestamp, outside the simulation
 	return time.Now()
+}
+
+func laundered() time.Time {
+	// obs.WallNow is the ops plane's clock source; calling it from a
+	// package without a //flashvet:ops-domain declaration is the same
+	// offence as time.Now.
+	return obs.WallNow() // want `ops-plane clock source obs\.WallNow`
 }

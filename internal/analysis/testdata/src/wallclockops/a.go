@@ -1,0 +1,19 @@
+// Package a exercises the //flashvet:ops-domain opt-out: a package with a
+// well-formed declaration may read the host clock (directly or via
+// obs.WallNow) with no findings at all.
+package a
+
+import (
+	"time"
+
+	"flashwear/internal/obs"
+)
+
+//flashvet:ops-domain this fixture package measures the real process, nothing flows back into simulation results
+
+func measure() time.Duration {
+	start := time.Now() // ok: ops-domain package
+	time.Sleep(0)       // ok
+	_ = obs.WallNow()   // ok: ops-domain packages may use the ops clock source
+	return time.Since(start)
+}

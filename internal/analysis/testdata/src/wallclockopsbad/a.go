@@ -1,0 +1,12 @@
+// Package a proves a malformed //flashvet:ops-domain declaration grants
+// nothing: the declaration itself is a finding, and the package stays in
+// the sim domain, so its clock reads are findings too.
+package a
+
+import "time"
+
+//flashvet:ops-domain// want `flashvet:ops-domain declaration has no reason`
+
+func sim() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}

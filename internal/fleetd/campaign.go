@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"flashwear/internal/fleet"
+	"flashwear/internal/obs"
 	"flashwear/internal/wtrace"
 )
 
@@ -38,8 +39,10 @@ const (
 // epoch progress and fork is unavailable.
 type Manager struct {
 	dataDir string
+	metrics *Metrics
 
 	mu        sync.Mutex
+	logger    *obs.Logger
 	nextID    int
 	campaigns []*Campaign // sorted by ID
 }
@@ -58,7 +61,7 @@ type campaignFile struct {
 // and scanned for existing campaigns, which are adopted in StatePaused —
 // restart never silently burns CPU; the operator resumes explicitly.
 func NewManager(dataDir string) (*Manager, error) {
-	m := &Manager{dataDir: dataDir, nextID: 1}
+	m := &Manager{dataDir: dataDir, metrics: NewMetrics(), nextID: 1}
 	if dataDir == "" {
 		return m, nil
 	}
@@ -90,9 +93,33 @@ func NewManager(dataDir string) (*Manager, error) {
 		if n, err := strconv.Atoi(match[1]); err == nil && n >= m.nextID {
 			m.nextID = n + 1
 		}
+		if _, err := c.appendEvent(obs.Event{Type: "adopted", Detail: "found in data directory on startup"}); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(m.campaigns, func(i, j int) bool { return m.campaigns[i].id < m.campaigns[j].id })
 	return m, nil
+}
+
+// Metrics exposes the manager's ops-domain registry and instruments.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Logger returns the installed structured logger (nil means silent).
+func (m *Manager) Logger() *obs.Logger {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.logger
+}
+
+// SetLogger installs a structured logger for the manager and every
+// campaign journal (existing and future). Call before serving traffic.
+func (m *Manager) SetLogger(l *obs.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logger = l
+	for _, c := range m.campaigns {
+		c.journal.Logger = l
+	}
 }
 
 // newCampaign builds the in-memory object (no goroutine, StatePaused).
@@ -111,6 +138,19 @@ func (m *Manager) newCampaign(id string, spec CampaignSpec) (*Campaign, error) {
 	}
 	c.series = &DaySeries{}
 	c.agg = newAggregate()
+	journalPath := ""
+	if c.dir != "" {
+		journalPath = filepath.Join(c.dir, "events.jsonl")
+	}
+	j, err := obs.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	j.Logger = m.logger
+	j.Tag = id
+	c.journal = j
+	c.alerts = newAlertState()
+	c.alerts.seed(j.Events(0))
 	return c, nil
 }
 
@@ -132,6 +172,10 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 		if err := writeCampaignFile(c.dir, c.spec); err != nil {
 			return nil, err
 		}
+	}
+	m.metrics.Submits.Inc()
+	if _, err := c.appendEvent(obs.Event{Type: "submitted", Detail: c.spec.Name}); err != nil {
+		return nil, err
 	}
 	c.start()
 	return c, nil
@@ -228,6 +272,10 @@ func (m *Manager) Fork(id string, opts ForkOptions) (*Campaign, error) {
 	if err := copyCells(src, dst); err != nil {
 		return nil, err
 	}
+	m.metrics.Forks.Inc()
+	if _, err := dst.appendEvent(obs.Event{Type: "forked", Detail: "from " + src.id}); err != nil {
+		return nil, err
+	}
 	dst.start()
 	return dst, nil
 }
@@ -298,6 +346,12 @@ type Campaign struct {
 	spec  CampaignSpec
 	fspec fleet.Spec
 
+	// journal and alerts are owned by the campaign for its whole life;
+	// journal is internally synchronized, alerts is touched only by the
+	// single sweep goroutine (plus seeding before any sweep starts).
+	journal *obs.Journal
+	alerts  *alertState
+
 	mu      sync.Mutex
 	state   State
 	err     error
@@ -343,7 +397,6 @@ func (c *Campaign) start() {
 		defer close(done)
 		err := c.sweep(ctx)
 		c.mu.Lock()
-		defer c.mu.Unlock()
 		switch {
 		case err == nil:
 			c.state = StateDone
@@ -353,8 +406,33 @@ func (c *Campaign) start() {
 			c.state = StateFailed
 			c.err = err
 		}
+		st := c.state
+		c.mu.Unlock()
+		switch st {
+		case StateDone:
+			c.appendEvent(obs.Event{Type: "done"})
+		case StatePaused:
+			c.appendEvent(obs.Event{Type: "paused"})
+		case StateFailed:
+			c.appendEvent(obs.Event{Type: "failed", Detail: err.Error()})
+		}
 	}()
 }
+
+// appendEvent journals e for this campaign. Journal failures on the ops
+// plane are real durability failures (the journal shares the campaign's
+// data directory), so callers in the sweep path propagate them.
+func (c *Campaign) appendEvent(e obs.Event) (obs.Event, error) {
+	return c.journal.Append(e)
+}
+
+// Events returns the journaled events with Seq > since.
+func (c *Campaign) Events(since uint64) []obs.Event {
+	return c.journal.Events(since)
+}
+
+// Journal exposes the campaign's event journal (for subscriptions).
+func (c *Campaign) Journal() *obs.Journal { return c.journal }
 
 // Pause cancels the sweep and waits for it to stop. The sweep checks for
 // cancellation between device-epochs, so an in-flight cell is abandoned
@@ -380,6 +458,10 @@ func (c *Campaign) Resume() error {
 	c.mu.Unlock()
 	switch st {
 	case StatePaused:
+		c.mgr.metrics.Resumes.Inc()
+		if _, err := c.appendEvent(obs.Event{Type: "resumed"}); err != nil {
+			return err
+		}
 		c.start()
 		return nil
 	case StateRunning:
@@ -427,6 +509,9 @@ type Status struct {
 	Shards   int    `json:"shards"`
 	Bricked  int64  `json:"bricked"`
 	ReadOnly int64  `json:"read_only"`
+	// LastSeq is the campaign journal's highest event sequence number,
+	// the cursor a client passes as ?since= to tail new events.
+	LastSeq uint64 `json:"last_seq"`
 }
 
 // Status returns the progress summary.
@@ -449,6 +534,7 @@ func (c *Campaign) Status() Status {
 		st.Bricked = c.series.Rows[n-1][dBricked]
 		st.ReadOnly = c.series.Rows[n-1][dReadOnly]
 	}
+	st.LastSeq = c.journal.LastSeq()
 	return st
 }
 
@@ -525,12 +611,20 @@ func (c *Campaign) sweep(ctx context.Context) error {
 					ok = false
 				}
 				if ok {
+					c.mgr.metrics.CellsReused.Inc()
+					if _, err := c.appendEvent(obs.Event{Type: "cell_reused", Shard: s, Epoch: e}); err != nil {
+						return err
+					}
 					cur[s] = ft
 					continue
 				}
 			}
 			ft, err := c.runShardEpoch(ctx, s, e, prevFt)
 			if err != nil {
+				return err
+			}
+			c.mgr.metrics.CellsComputed.Inc()
+			if _, err := c.appendEvent(obs.Event{Type: "cell_computed", Shard: s, Epoch: e}); err != nil {
 				return err
 			}
 			cur[s] = ft
@@ -568,6 +662,7 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 		if err != nil {
 			return nil, err
 		}
+		w.metrics = c.mgr.metrics
 	}
 
 	type job struct {
@@ -665,6 +760,10 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 		if err := w.finish(ft); err != nil {
 			return nil, err
 		}
+		if _, err := c.appendEvent(obs.Event{Type: "checkpoint_written", Shard: shard, Epoch: epoch,
+			Detail: fmt.Sprintf("bytes=%d", w.bytes)}); err != nil {
+			return nil, err
+		}
 	}
 	return ft, nil
 }
@@ -703,10 +802,34 @@ func (c *Campaign) commitEpoch(footers []*epochFooter, final bool) error {
 		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.series.append(es)
 	c.agg = agg
 	c.ledger = ledger
 	c.final = fin
-	return nil
+	rows := c.series.Rows
+	daysDone := len(rows)
+	var bricked, readOnly int64
+	if daysDone > 0 {
+		bricked = rows[daysDone-1][dBricked]
+		readOnly = rows[daysDone-1][dReadOnly]
+	}
+	c.mu.Unlock()
+
+	// Ops-plane accounting and sim-domain alerting. The alert scan reads
+	// only the committed day rows (sim domain); its findings journal as
+	// Sim events and dedupe across resumes via the fired-set. rows is only
+	// ever appended to and the single sweep goroutine is the only writer
+	// here, so reading it outside c.mu is safe.
+	devices := int64(c.spec.Devices)
+	dd := int64(len(es.Rows)) * devices
+	c.mgr.metrics.DeviceDays.Add(dd)
+	c.mgr.metrics.DeviceRate.Add(dd)
+	for _, a := range c.alerts.scan(rows, devices) {
+		if _, err := c.appendEvent(a.event()); err != nil {
+			return err
+		}
+	}
+	_, err := c.appendEvent(obs.Event{Type: "epoch_committed", Day: daysDone,
+		Detail: fmt.Sprintf("bricked=%d read_only=%d", bricked, readOnly)})
+	return err
 }

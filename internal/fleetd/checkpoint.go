@@ -39,12 +39,14 @@ func cellPath(campaignDir string, shard, epoch int) string {
 // multiple workers concurrently; finish seals the file and renames it
 // into place.
 type ckptWriter struct {
-	mu   sync.Mutex
-	f    *os.File
-	bw   *bufio.Writer
-	path string
-	tmp  string
-	err  error
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	path    string
+	tmp     string
+	err     error
+	bytes   int64    // frames + magic written so far
+	metrics *Metrics // optional ops accounting; nil for bare writers
 }
 
 func newCkptWriter(path string, hdr fileHeader) (*ckptWriter, error) {
@@ -57,6 +59,7 @@ func newCkptWriter(path string, hdr fileHeader) (*ckptWriter, error) {
 		return nil, err
 	}
 	w := &ckptWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), path: path, tmp: tmp}
+	w.bytes += int64(len(fileMagic)) + 4
 	var e enc
 	e.raw([]byte(fileMagic))
 	e.u32(ckptVersion)
@@ -92,7 +95,9 @@ func (w *ckptWriter) frameLocked(typ byte, payload []byte) {
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	if _, err := w.bw.Write(crc[:]); err != nil {
 		w.err = err
+		return
 	}
+	w.bytes += int64(len(hdr)) + int64(len(payload)) + int64(len(crc))
 }
 
 // writeDevice appends one device-state frame. Safe for concurrent use;
@@ -117,12 +122,19 @@ func (w *ckptWriter) finish(ft *epochFooter) error {
 	w.frameLocked(frameFooter, e.b)
 	if w.err == nil {
 		_, w.err = w.bw.WriteString(endMagic)
+		w.bytes += int64(len(endMagic))
 	}
 	if w.err == nil {
 		w.err = w.bw.Flush()
 	}
 	if w.err == nil {
-		w.err = w.f.Sync()
+		if w.metrics != nil {
+			stop := w.metrics.FsyncSeconds.Time()
+			w.err = w.f.Sync()
+			stop()
+		} else {
+			w.err = w.f.Sync()
+		}
 	}
 	if err := w.f.Close(); w.err == nil {
 		w.err = err
@@ -134,6 +146,10 @@ func (w *ckptWriter) finish(ft *epochFooter) error {
 	if err := os.Rename(w.tmp, w.path); err != nil {
 		os.Remove(w.tmp)
 		return err
+	}
+	if w.metrics != nil {
+		w.metrics.CheckpointBytes.Add(w.bytes)
+		w.metrics.CheckpointWrites.Inc()
 	}
 	return nil
 }

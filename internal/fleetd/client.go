@@ -1,12 +1,16 @@
 package fleetd
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+
+	"flashwear/internal/obs"
 )
 
 // Client is the Go-side counterpart of Server — a thin wrapper the
@@ -155,4 +159,61 @@ func (c *Client) Fork(id string, opts ForkOptions) (Status, error) {
 	var st Status
 	err := c.postJSON(campaignPath(id, "/fork"), opts, &st)
 	return st, err
+}
+
+// Events returns the campaign's journal events with Seq > since.
+func (c *Client) Events(id string, since uint64) ([]obs.Event, error) {
+	var out []obs.Event
+	err := c.getJSON(campaignPath(id, "/events?since="+strconv.FormatUint(since, 10)), &out)
+	return out, err
+}
+
+// Watch subscribes to the campaign's SSE stream from since and calls fn
+// for each event until the stream ends or fn returns an error. A nil
+// return means the server closed the stream (campaign journal fan-out
+// buffer overrun or shutdown) — the caller may reconnect from the last
+// seen Seq.
+func (c *Client) Watch(id string, since uint64, fn func(obs.Event) error) error {
+	req, err := http.NewRequest(http.MethodGet,
+		c.BaseURL+campaignPath(id, "/watch?since="+strconv.FormatUint(since, 10)), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(resp.Body)
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: string(raw)}
+	}
+	// Minimal SSE parse: collect data: lines until a blank line ends the
+	// frame, then decode the frame's JSON payload.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var e obs.Event
+				if err := json.Unmarshal(data, &e); err != nil {
+					return fmt.Errorf("fleetd: watch: bad event payload: %w", err)
+				}
+				if err := fn(e); err != nil {
+					return err
+				}
+				data = data[:0]
+			}
+		case len(line) >= 5 && line[:5] == "data:":
+			data = append(data, bytes.TrimSpace([]byte(line[5:]))...)
+		}
+	}
+	return sc.Err()
 }

@@ -1,0 +1,60 @@
+package fleetd
+
+import "flashwear/internal/obs"
+
+// Metrics is fleetd's ops-domain instrument panel. Everything here
+// measures the serving process — throughput, I/O cost, request traffic —
+// and nothing here feeds back into campaign results: the determinism
+// tests compare series/ledger/aggregate/sim-events and explicitly exclude
+// this registry's output, which legitimately differs run to run.
+type Metrics struct {
+	Registry *obs.Registry
+
+	// Sweep progress.
+	CellsComputed *obs.Counter // (shard, epoch) cells simulated this process
+	CellsReused   *obs.Counter // cells satisfied from a valid checkpoint
+	DeviceDays    *obs.Counter // device-day units committed
+	DeviceRate    *obs.RateMeter
+
+	// Checkpoint I/O.
+	CheckpointBytes  *obs.Counter
+	CheckpointWrites *obs.Counter
+	FsyncSeconds     *obs.Histogram
+
+	// Campaign lifecycle.
+	Submits *obs.Counter
+	Resumes *obs.Counter
+	Forks   *obs.Counter
+
+	HTTP *obs.HTTPMetrics
+}
+
+// NewMetrics builds the fleetd metric set on a fresh registry.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		Registry: r,
+		CellsComputed: r.Counter("fleetd_cells_computed_total",
+			"Checkpoint cells (shard x epoch) simulated by this process."),
+		CellsReused: r.Counter("fleetd_cells_reused_total",
+			"Checkpoint cells satisfied from a valid on-disk checkpoint instead of recomputing."),
+		DeviceDays: r.Counter("fleetd_device_days_total",
+			"Device-day simulation units committed."),
+		DeviceRate: r.RateMeter("fleetd_device_days_per_second",
+			"Device-day throughput over the most recent epoch commit interval."),
+		CheckpointBytes: r.Counter("fleetd_checkpoint_bytes_total",
+			"Bytes written to completed checkpoint cell files."),
+		CheckpointWrites: r.Counter("fleetd_checkpoint_writes_total",
+			"Checkpoint cell files completed (fsynced and renamed into place)."),
+		FsyncSeconds: r.Histogram("fleetd_checkpoint_fsync_seconds",
+			"Latency of the fsync that makes a checkpoint cell durable.",
+			obs.DurationBuckets),
+		Submits: r.Counter("fleetd_campaign_submits_total",
+			"Campaigns submitted."),
+		Resumes: r.Counter("fleetd_campaign_resumes_total",
+			"Campaign sweep resumes (operator resume or post-restart)."),
+		Forks: r.Counter("fleetd_campaign_forks_total",
+			"Campaigns created by forking."),
+		HTTP: obs.NewHTTPMetrics(r, "fleetd"),
+	}
+}

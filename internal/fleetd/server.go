@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"flashwear/internal/obs"
 )
 
 // Server exposes a Manager over HTTP/JSON — the control and query plane
@@ -16,12 +19,17 @@ import (
 //	GET  /v1/campaigns/{id}/series  committed day series (CSV; ?format=json)
 //	GET  /v1/campaigns/{id}/ledger  point-in-time wear ledger (CSV; ?format=json)
 //	GET  /v1/campaigns/{id}/result  final Aggregate (JSON; 409 until done)
+//	GET  /v1/campaigns/{id}/events  journal events (?since=N; ?format=jsonl)
+//	GET  /v1/campaigns/{id}/watch   live event stream (SSE; ?since=N)
 //	POST /v1/campaigns/{id}/pause
 //	POST /v1/campaigns/{id}/resume
 //	POST /v1/campaigns/{id}/fork  body ForkOptions, returns the fork's Status
+//	GET  /metrics                 ops-domain metrics (Prometheus text format)
 //
 // Every query serves committed state under the campaign mutex, so
-// polling mid-run never observes a half-merged epoch.
+// polling mid-run never observes a half-merged epoch. Every route runs
+// through the obs middleware: panic recovery, request metrics, and (when
+// the manager has a logger) a structured log line per request.
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
@@ -30,15 +38,23 @@ type Server struct {
 // NewServer wraps a manager in an HTTP handler.
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
-	s.mux.HandleFunc("GET /v1/campaigns", s.list)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.status)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}/series", s.series)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}/ledger", s.ledger)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.result)
-	s.mux.HandleFunc("POST /v1/campaigns/{id}/pause", s.pause)
-	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.resume)
-	s.mux.HandleFunc("POST /v1/campaigns/{id}/fork", s.fork)
+	handle := func(pattern string, h http.HandlerFunc) {
+		// The mux pattern doubles as the route label so metric cardinality
+		// stays fixed no matter what IDs clients request.
+		s.mux.Handle(pattern, obs.Instrument(pattern, mgr.metrics.HTTP, mgr.Logger(), h))
+	}
+	handle("POST /v1/campaigns", s.submit)
+	handle("GET /v1/campaigns", s.list)
+	handle("GET /v1/campaigns/{id}", s.status)
+	handle("GET /v1/campaigns/{id}/series", s.series)
+	handle("GET /v1/campaigns/{id}/ledger", s.ledger)
+	handle("GET /v1/campaigns/{id}/result", s.result)
+	handle("GET /v1/campaigns/{id}/events", s.events)
+	handle("GET /v1/campaigns/{id}/watch", s.watch)
+	handle("POST /v1/campaigns/{id}/pause", s.pause)
+	handle("POST /v1/campaigns/{id}/resume", s.resume)
+	handle("POST /v1/campaigns/{id}/fork", s.fork)
+	handle("GET /metrics", mgr.metrics.Registry.ServeHTTP)
 	return s
 }
 
@@ -144,6 +160,101 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, agg)
+}
+
+// sinceParam parses ?since=N (default 0).
+func sinceParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad since %q: %w", raw, err)
+	}
+	return n, nil
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	evs := c.Events(since)
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, e := range evs {
+			enc.Encode(e)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+// watch streams the campaign journal as server-sent events: a replay of
+// everything after ?since=, then live events as they append. Each frame
+// carries the journal sequence number as the SSE id, so a dropped client
+// reconnects with ?since=<last id> and misses nothing.
+func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(e obs.Event) bool {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, raw); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	replay, ch, cancel := c.Journal().Subscribe(since)
+	defer cancel()
+	for _, e := range replay {
+		if !send(e) {
+			return
+		}
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				// Fell behind the journal's fan-out buffer; the client
+				// re-subscribes from its last seen id.
+				return
+			}
+			if !send(e) {
+				return
+			}
+		}
+	}
 }
 
 func (s *Server) pause(w http.ResponseWriter, r *http.Request) {

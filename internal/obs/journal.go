@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Event is one entry of a campaign's journal. Two kinds share the record:
+//
+//   - ops events (Sim false): lifecycle and progress — submitted, paused,
+//     resumed, forked, cell_reused, cell_computed, checkpoint_written,
+//     epoch_committed, done, failed. Their presence, order, and count
+//     depend on scheduling and process history, and that is fine: they
+//     describe this process, not the simulation.
+//   - sim events (Sim true): alerts and brick milestones. Their payload
+//     (Type, Day, Rule, Value, Detail) is a pure function of the
+//     campaign's sim-domain day series, so across shards, workers,
+//     checkpoint cadence, and resume the set of sim events is identical
+//     (the determinism tests compare them via SimString, which strips the
+//     ops envelope).
+//
+// Seq and WallMs are the ops envelope on every event: Seq is assigned by
+// the journal (contiguous from 1, never reused, survives crash/resume)
+// and WallMs stamps append time.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	WallMs int64  `json:"wall_ms"`
+	Type   string `json:"type"`
+	// Sim marks the payload as sim-domain (deterministic).
+	Sim bool `json:"sim,omitempty"`
+	// Day is the 1-based simulated day the event refers to (0 = none).
+	Day int `json:"day,omitempty"`
+	// Shard and Epoch locate cell-scoped ops events; Shard is 0-based and
+	// only meaningful when Epoch (1-based) is set.
+	Shard int `json:"shard,omitempty"`
+	Epoch int `json:"epoch,omitempty"`
+	// Rule names the alert or milestone rule that fired.
+	Rule string `json:"rule,omitempty"`
+	// Value is the rule's reading, rendered as an exact integer ratio
+	// ("3/1000") so sim events never carry float formatting.
+	Value  string `json:"value,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// SimKey identifies a sim event for cross-resume dedup: the same rule
+// firing for the same day must journal exactly once per campaign, no
+// matter how many sweeps re-derive it.
+func (e Event) SimKey() string {
+	return fmt.Sprintf("%s|%s|%d", e.Type, e.Rule, e.Day)
+}
+
+// SimString is the canonical ops-envelope-free rendering determinism
+// fingerprints compare.
+func (e Event) SimString() string {
+	return fmt.Sprintf("%s day=%d rule=%s value=%s detail=%s", e.Type, e.Day, e.Rule, e.Value, e.Detail)
+}
+
+// Journal is an append-only, monotonically-sequenced event log with
+// subscriber fan-out. With a path it persists as JSON lines (one fsync
+// per append — events are epoch-cadence, not device-cadence) and reloads
+// on open, tolerating a torn final line from a crash mid-append; without
+// a path it is memory-only. All methods are safe for concurrent use.
+type Journal struct {
+	// Logger, when set (before first use), mirrors every append as a
+	// structured log line tagged Tag.
+	Logger *Logger
+	Tag    string
+
+	mu      sync.Mutex
+	f       *os.File // nil when memory-only
+	events  []Event
+	subs    []*subscriber
+	nextSeq uint64
+}
+
+type subscriber struct {
+	ch chan Event
+}
+
+// OpenJournal opens (or creates) the journal at path, replaying existing
+// events; an empty path makes a memory-only journal. A torn final line —
+// the signature of a crash mid-append — is truncated away, so the next
+// append continues the contiguous sequence; a gap or duplicate in the
+// replayed sequence numbers is corruption and fails the open.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{}
+	if path == "" {
+		return j, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good := int64(0) // offset past the last fully-parsed line
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			break // no trailing newline: torn tail, drop it
+		}
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		var e Event
+		if json.Unmarshal(bytes.TrimSpace(line), &e) != nil {
+			break // torn or garbled tail: keep the good prefix
+		}
+		if e.Seq != j.nextSeq+1 {
+			f.Close()
+			return nil, fmt.Errorf("obs: journal %s: seq %d after %d, want contiguous", path, e.Seq, j.nextSeq)
+		}
+		j.events = append(j.events, e)
+		j.nextSeq = e.Seq
+		good += int64(len(line))
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// Append assigns the next sequence number and wall timestamp, persists
+// the event (when file-backed), fans it out to subscribers, and returns
+// the completed event.
+func (j *Journal) Append(e Event) (Event, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.nextSeq++
+	e.Seq = j.nextSeq
+	e.WallMs = WallNow().UnixMilli()
+	if j.f != nil {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return Event{}, err
+		}
+		if _, err := j.f.Write(append(raw, '\n')); err != nil {
+			return Event{}, fmt.Errorf("obs: journal append: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return Event{}, fmt.Errorf("obs: journal sync: %w", err)
+		}
+	}
+	j.events = append(j.events, e)
+	live := j.subs[:0]
+	for _, s := range j.subs {
+		select {
+		case s.ch <- e:
+			live = append(live, s)
+		default:
+			// Slow subscriber: close it out rather than block the
+			// campaign; the client reconnects with ?since=.
+			close(s.ch)
+		}
+	}
+	j.subs = live
+	j.Logger.Log("journal", "campaign", j.Tag, "seq", e.Seq, "type", e.Type, "detail", e.Detail)
+	return e, nil
+}
+
+// Events returns a copy of every event with Seq > since.
+func (j *Journal) Events(since uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sinceLocked(since)
+}
+
+func (j *Journal) sinceLocked(since uint64) []Event {
+	i := 0
+	for i < len(j.events) && j.events[i].Seq <= since {
+		i++
+	}
+	return append([]Event(nil), j.events[i:]...)
+}
+
+// LastSeq returns the highest assigned sequence number (0 when empty).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// Subscribe returns the replay of events after since plus a channel of
+// future ones. The channel is closed if the subscriber falls more than a
+// buffer behind; cancel unsubscribes (idempotent).
+func (j *Journal) Subscribe(since uint64) (replay []Event, ch <-chan Event, cancel func()) {
+	s := &subscriber{ch: make(chan Event, 256)}
+	j.mu.Lock()
+	replay = j.sinceLocked(since)
+	j.subs = append(j.subs, s)
+	j.mu.Unlock()
+	var once sync.Once
+	return replay, s.ch, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			for i, sub := range j.subs {
+				if sub == s {
+					j.subs = append(j.subs[:i], j.subs[i+1:]...)
+					break
+				}
+			}
+			j.mu.Unlock()
+		})
+	}
+}
+
+// Close releases the backing file (memory contents stay queryable).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

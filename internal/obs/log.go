@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured key=value lines with wall-clock timestamps:
+//
+//	ts=2026-08-08T12:00:00.123Z event=http route="GET /metrics" status=200 ms=1.2
+//
+// A nil *Logger is valid and silent, so callers thread loggers without
+// nil checks and tests stay quiet by default.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger wraps w; a nil writer returns a nil (silent) logger.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log emits one line for event with alternating key, value pairs. Values
+// render via %v; strings containing spaces or quotes are quoted.
+func (l *Logger) Log(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(WallNow().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" event=")
+	b.WriteString(event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		s := fmt.Sprintf("%v", kv[i+1])
+		if strings.ContainsAny(s, " \t\"=") || s == "" {
+			s = strconv.Quote(s)
+		}
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+)
+
+// HTTPMetrics is the standard request-side metric set: per-route request
+// counts by method and status, per-route latency histograms, and a
+// recovered-panic counter.
+type HTTPMetrics struct {
+	Requests *CounterVec   // route, method, code
+	Latency  *HistogramVec // route
+	Panics   *Counter
+}
+
+// NewHTTPMetrics registers the request metrics under prefix (e.g.
+// "fleetd"): <prefix>_http_requests_total, <prefix>_http_request_seconds,
+// <prefix>_http_panics_total.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests served, by route pattern, method, and status code.",
+			"route", "method", "code"),
+		Latency: r.HistogramVec(prefix+"_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			DurationBuckets, "route"),
+		Panics: r.Counter(prefix+"_http_panics_total",
+			"Handler panics recovered by the middleware."),
+	}
+}
+
+// statusWriter captures the response status and byte count, and forwards
+// Flush so streaming handlers (SSE) keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Instrument wraps h with the ops-plane request middleware: panic
+// recovery (log + counted + 500 when nothing was written yet), a
+// structured request log line, and route-labelled count/latency metrics.
+// route should be the mux pattern ("GET /v1/campaigns/{id}"), not the
+// concrete path, to keep the label cardinality fixed.
+func Instrument(route string, m *HTTPMetrics, log *Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := WallNow()
+		defer func() {
+			if p := recover(); p != nil {
+				m.Panics.Inc()
+				log.Log("panic", "route", route, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if sw.status == 0 {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintln(w, `{"error":"internal server error"}`)
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			elapsed := WallNow().Sub(start)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			m.Requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+			m.Latency.With(route).Observe(elapsed.Seconds())
+			log.Log("http", "route", route, "path", r.URL.Path, "status", sw.status,
+				"bytes", sw.bytes, "ms", float64(elapsed.Microseconds())/1000)
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}

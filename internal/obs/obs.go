@@ -1,0 +1,43 @@
+// Package obs is the flashwear ops plane: wall-clock observability for
+// the long-running services (fleetd), kept strictly apart from the
+// deterministic simulation domain.
+//
+// # The sim/ops domain split
+//
+// Everything the simulator computes — day series, aggregates, ledgers,
+// alert events — is a pure function of its Spec and must stay
+// byte-identical across workers, shards, checkpoint cadence, and resume
+// (DESIGN.md §6, §11). Everything this package measures — request
+// latency, fsync cost, device throughput per wall second — is a property
+// of one particular process on one particular machine and is allowed to
+// differ run to run. The rule that keeps the two from contaminating each
+// other:
+//
+//   - ops-domain values may OBSERVE sim-domain values (a gauge of days
+//     completed is fine);
+//   - sim-domain values may never read ops-domain ones — no wall-clock
+//     timestamp, duration, or rate may flow into anything a determinism
+//     fingerprint covers.
+//
+// The split is statically enforced: the flashvet wallclock analyzer bans
+// time.Now and friends in simulation packages, this package declares
+// itself ops-domain (the //flashvet:ops-domain directive below), and the
+// analyzer additionally bans WallNow — this package's only exported raw
+// clock source — outside ops-domain packages, so sim code cannot launder
+// host time through obs (DESIGN.md §12).
+//
+// The pieces: a Prometheus-text-format metrics Registry (registry.go), an
+// append-only sequenced event Journal with subscriber fan-out
+// (journal.go), a structured key=value Logger (log.go), and HTTP
+// middleware with panic recovery (middleware.go).
+package obs
+
+import "time"
+
+//flashvet:ops-domain obs is the ops plane: it measures the real process (latency, throughput, timestamps) and nothing it produces flows back into simulation results
+
+// WallNow returns the host wall-clock time. It is the only exported raw
+// clock source in the ops plane; the flashvet wallclock analyzer bans it
+// in simulation packages exactly like time.Now, so calling it is a
+// declaration that the caller is ops-domain code.
+func WallNow() time.Time { return time.Now() }

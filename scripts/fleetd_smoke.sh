@@ -1,29 +1,39 @@
 #!/usr/bin/env bash
 # fleetd end-to-end smoke: submit a checkpointed campaign, kill -9 the
 # server mid-run, restart it, resume, and require the final artifacts —
-# day series, wear ledger, final aggregate — to be byte-identical to an
-# uninterrupted run of the same campaign. This is the ISSUE's
+# day series, wear ledger, final aggregate, and the sim-domain journal
+# events — to be byte-identical to an uninterrupted run of the same
+# campaign. Also exercises the ops plane: /metrics must serve non-empty
+# Prometheus output and the crash-surviving event journal must keep its
+# sequence numbers contiguous across the kill. This is the ISSUE's
 # kill-and-resume acceptance check at CI scale; the in-process
 # equivalents (more seeds, more shard/worker shapes) live in
 # internal/fleetd's tests.
+#
+# Everything runs in a mktemp -d scratch dir, removed on exit. Set
+# FLEETD_SMOKE_ARTIFACTS to a directory to keep copies of the fetched
+# artifacts (CI uploads these).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=fleetd-smoke-out
-rm -rf "$OUT"
-mkdir -p "$OUT"
+OUT=$(mktemp -d "${TMPDIR:-/tmp}/fleetd-smoke.XXXXXX")
+
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    if [ -n "${FLEETD_SMOKE_ARTIFACTS:-}" ]; then
+        mkdir -p "$FLEETD_SMOKE_ARTIFACTS"
+        cp "$OUT"/*.csv "$OUT"/*.json "$OUT"/*.jsonl "$OUT"/*.txt "$OUT"/*.log "$FLEETD_SMOKE_ARTIFACTS/" 2>/dev/null || true
+    fi
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
 
 go build -o "$OUT/fleetd" ./cmd/fleetd
 
 ADDR="127.0.0.1:${FLEETD_SMOKE_PORT:-17071}"
 BASE="http://$ADDR"
 SPEC='{"name":"smoke","devices":6,"days":12,"seed":7,"scale":65536,"buggy":0.2,"attack":0.2,"wear_trace":true,"shards":2,"workers":2,"checkpoint_every":2}'
-
-SERVER_PID=""
-cleanup() {
-    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
-}
-trap cleanup EXIT
 
 start_server() { # $1 = data dir
     "$OUT/fleetd" serve -addr "$ADDR" -data "$1" 2>>"$OUT/server.log" &
@@ -40,6 +50,18 @@ fetch_artifacts() { # $1 = campaign id, $2 = prefix
     curl -sf "$BASE/v1/campaigns/$1/series" >"$OUT/$2-series.csv"
     curl -sf "$BASE/v1/campaigns/$1/ledger" >"$OUT/$2-ledger.csv"
     curl -sf "$BASE/v1/campaigns/$1/result" >"$OUT/$2-result.json"
+    curl -sf "$BASE/v1/campaigns/$1/events?format=jsonl" >"$OUT/$2-events.jsonl"
+    # The determinism comparison covers only sim-domain events, shorn of
+    # their ops envelope (seq, wall_ms): scheduling and process history
+    # legitimately change the ops events around them.
+    grep '"sim":true' "$OUT/$2-events.jsonl" \
+        | sed -e 's/"seq":[0-9]*,//' -e 's/"wall_ms":[0-9]*,//' >"$OUT/$2-sim-events.jsonl"
+}
+
+check_journal() { # $1 = prefix: non-empty journal, seq contiguous from 1
+    [ -s "$OUT/$1-events.jsonl" ] || { echo "fleetd_smoke: $1 journal is empty" >&2; exit 1; }
+    sed -n 's/.*"seq":\([0-9]*\).*/\1/p' "$OUT/$1-events.jsonl" | awk '
+        $1 != NR { printf "fleetd_smoke: seq %s at journal line %d (gap or duplicate)\n", $1, NR; exit 1 }'
 }
 
 echo "fleetd_smoke: reference run (uninterrupted)"
@@ -47,6 +69,11 @@ start_server "$OUT/data-ref"
 REF_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
 "$OUT/fleetd" wait -addr "$BASE" -every 500ms "$REF_ID" >/dev/null
 fetch_artifacts "$REF_ID" ref
+check_journal ref
+curl -sf "$BASE/metrics" >"$OUT/metrics.txt"
+[ -s "$OUT/metrics.txt" ] || { echo "fleetd_smoke: /metrics is empty" >&2; exit 1; }
+grep -q '^fleetd_cells_computed_total ' "$OUT/metrics.txt" \
+    || { echo "fleetd_smoke: /metrics missing fleetd_cells_computed_total" >&2; exit 1; }
 kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 
 echo "fleetd_smoke: interrupted run (kill -9 mid-campaign)"
@@ -62,9 +89,15 @@ STATE=$(curl -sf "$BASE/v1/campaigns/$CRASH_ID" | sed -n 's/.*"state": "\([^"]*\
 curl -sf -X POST "$BASE/v1/campaigns/$CRASH_ID/resume" >/dev/null
 "$OUT/fleetd" wait -addr "$BASE" -every 500ms "$CRASH_ID" >/dev/null
 fetch_artifacts "$CRASH_ID" crash
+# The journal survived a kill -9 (fsync-per-append JSONL): still
+# non-empty and contiguously sequenced across the process boundary.
+check_journal crash
+grep -q '"type":"adopted"' "$OUT/crash-events.jsonl" \
+    || { echo "fleetd_smoke: crash journal lost the adoption record" >&2; exit 1; }
 kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 
 cmp "$OUT/ref-series.csv" "$OUT/crash-series.csv"
 cmp "$OUT/ref-ledger.csv" "$OUT/crash-ledger.csv"
 cmp "$OUT/ref-result.json" "$OUT/crash-result.json"
-echo "fleetd_smoke: OK — kill -9 + resume is byte-identical to the uninterrupted run"
+cmp "$OUT/ref-sim-events.jsonl" "$OUT/crash-sim-events.jsonl"
+echo "fleetd_smoke: OK — kill -9 + resume is byte-identical to the uninterrupted run (series, ledger, result, sim events)"
