@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench faults wtrace fleetd-smoke fleetd-bigsmoke check
+.PHONY: all build vet lint test race bench faults torture wtrace fleetd-smoke fleetd-bigsmoke check
 
 all: build
 
@@ -43,6 +43,21 @@ faults:
 		-run 'TestRecover|TestProgramFailures|TestGraceful|TestBrickAtEOL|TestEOLSpare|TestQuickRemount|TestCrashConformanceOnFaultyFlash|TestFleetFaultPlan|TestFleetPanic|TestInjector' \
 		./internal/ftl/ ./internal/faultinject/ ./internal/fleet/ \
 		./internal/fs/extfs/ ./internal/fs/f2fs/
+
+# The host-fault torture matrix under -race (DESIGN.md §13): campaigns
+# over a fault-injecting filesystem (ENOSPC, EIO, torn writes, rename
+# failures — against checkpoint cells and the event journal), interrupted
+# and re-adopted mid-run, must produce results byte-identical to a clean
+# run; plus the HTTP plane's failure behavior (idempotent retries, client
+# backoff/timeouts, SSE release on shutdown). The verbose log lands in
+# torture-out/ (CI uploads it alongside the smoke run's journals).
+torture:
+	rm -rf torture-out && mkdir -p torture-out
+	$(GO) test -race -short -count=1 -v \
+		-run 'TestTorture|TestIdempotent|TestClient|TestWatchEndsOnShutdown' \
+		./internal/fleetd/ >torture-out/torture.log 2>&1 \
+		|| { tail -40 torture-out/torture.log; exit 1; }
+	@tail -1 torture-out/torture.log
 
 # One pass over every benchmark (each regenerates a paper exhibit);
 # -benchtime=1x keeps it a smoke run. Drop the flag for real timings.
@@ -89,4 +104,4 @@ fleetd-bigsmoke:
 		-metrics-csv fleetd-big-out/series.csv
 
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet lint build test race faults wtrace fleetd-smoke
+check: vet lint build test race faults torture wtrace fleetd-smoke

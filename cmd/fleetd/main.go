@@ -29,13 +29,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flashwear/internal/fleetd"
+	"flashwear/internal/hostio"
 	"flashwear/internal/obs"
 )
 
@@ -145,8 +150,28 @@ func serve(args []string) error {
 	fs := newFlagSet("serve")
 	addr := fs.String("addr", ":7070", "listen address")
 	data := fs.String("data", "", "checkpoint data directory (empty = in-memory campaigns only)")
+	readHeader := fs.Duration("read-header-timeout", 10*time.Second, "slowloris guard: max time to receive request headers")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to receive a full request")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second, "max time to write a response (the SSE watch stream clears its own deadline)")
+	grace := fs.Duration("shutdown-grace", 15*time.Second, "graceful-shutdown budget: sweeps drain at cell boundaries, then hard-pause")
+	faultPlan := fs.String("host-fault-plan", "", "inject host I/O faults, hostio.ParsePlan grammar (fault drills; e.g. \"class=checkpoint,fault=enospc,from=3,until=6\")")
+	retries := fs.Int("checkpoint-retries", 3, "checkpoint write attempts before a campaign degrades to checkpointing-paused")
 	fs.parse(args)
-	mgr, err := fleetd.NewManager(*data)
+
+	var hfs hostio.FS = hostio.OS{}
+	if *faultPlan != "" {
+		plan, err := hostio.ParsePlan(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("-host-fault-plan: %w", err)
+		}
+		hfs = hostio.NewFaultFS(hostio.OS{}, plan)
+		fmt.Fprintf(os.Stderr, "fleetd: host-fault injection ACTIVE: %q\n", *faultPlan)
+	}
+	mgr, err := fleetd.NewManagerOpts(fleetd.Options{
+		DataDir:         *data,
+		FS:              hfs,
+		CheckpointRetry: obs.Backoff{Attempts: *retries},
+	})
 	if err != nil {
 		return err
 	}
@@ -159,12 +184,61 @@ func serve(args []string) error {
 	}
 	mgr.SetLogger(obs.NewLogger(os.Stderr))
 	fmt.Fprintf(os.Stderr, "fleetd: listening on %s (data: %q)\n", *addr, *data)
+	handler := fleetd.NewServer(mgr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           fleetd.NewServer(mgr),
-		ReadHeaderTimeout: 10 * time.Second,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeader,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+
+	// Graceful drain: every sweep stops at its next cell boundary — the
+	// last completed cell is already fsynced and renamed, so this IS the
+	// final checkpoint. If the grace budget expires (a huge cell mid-
+	// flight), hard-pause: the abandoned .tmp is swept on next startup and
+	// the cell recomputes on resume.
+	fmt.Fprintln(os.Stderr, "fleetd: signal received; draining campaigns")
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), *grace)
+	defer cancelGrace()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for _, c := range mgr.List() {
+			c.Drain()
+		}
+		for _, c := range mgr.List() {
+			c.Wait()
+		}
+	}()
+	select {
+	case <-drained:
+	case <-graceCtx.Done():
+		fmt.Fprintln(os.Stderr, "fleetd: drain grace expired; hard-pausing remaining campaigns")
+		for _, c := range mgr.List() {
+			c.Pause()
+		}
+		<-drained
+	}
+	handler.Shutdown() // release SSE watch streams
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fleetd: shutdown complete")
+	return nil
 }
 
 // specFlags registers the campaign-spec flags on fs and returns a closure

@@ -1,0 +1,49 @@
+package analysis
+
+import "strings"
+
+// OpsDomainPrefix is the package-level declaration that opts a package
+// out of the sim-domain analyzers (wallclock, globalrand): ops-plane
+// code measures the real process, and what it measures never flows back
+// into simulation results. The reason is mandatory, exactly as for
+// //flashvet:ignore.
+const OpsDomainPrefix = "flashvet:ops-domain"
+
+// OpsDomain scans the package for //flashvet:ops-domain declarations and
+// returns true only when at least one well-formed declaration exists — a
+// malformed one grants nothing. When report is true, malformed
+// declarations (no reason) are reported as findings; exactly one analyzer
+// in the suite (wallclock) reports them, so a bad declaration is a single
+// finding, not one per exempting analyzer.
+func OpsDomain(pass *Pass, report bool) bool {
+	declared := false
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+OpsDomainPrefix)
+				if !ok {
+					continue
+				}
+				// An embedded "//" ends the declaration, like ignore
+				// directives: what follows is commentary, not reason.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				if text != "" && !strings.HasPrefix(text, " ") && !strings.HasPrefix(text, "\t") {
+					if report {
+						pass.Reportf(c.Pos(), "malformed %s declaration: want //%s <reason>", OpsDomainPrefix, OpsDomainPrefix)
+					}
+					continue
+				}
+				if strings.TrimSpace(text) == "" {
+					if report {
+						pass.Reportf(c.Pos(), "%s declaration has no reason: say what this package measures instead of simulating", OpsDomainPrefix)
+					}
+					continue
+				}
+				declared = true
+			}
+		}
+	}
+	return declared
+}

@@ -10,6 +10,14 @@
 // repeatable, but it silently correlates every caller that "picked" the
 // same literal, instead of deriving from the Spec. Constant seeds are
 // allowed in test files, where pinning a fixture is the point.
+//
+// Ops-plane packages — declared with //flashvet:ops-domain <reason>,
+// exactly as for the wallclock analyzer — are exempt: retry-backoff
+// jitter and its kin are wall-clock policy whose entropy never flows
+// into simulation results, and the shared global source is precisely the
+// right one for spreading a fleet's retries apart. Malformed
+// declarations grant nothing (wallclock reports them, once for the whole
+// suite).
 package globalrand
 
 import (
@@ -47,7 +55,9 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbid global math/rand functions and hard-coded RNG seeds\n\n" +
 		"Randomness must flow from an injected *rand.Rand seeded from the\n" +
 		"Spec; the global source and literal seeds both break the\n" +
-		"run-is-a-pure-function-of-its-Spec contract.",
+		"run-is-a-pure-function-of-its-Spec contract. Ops-plane packages\n" +
+		"(//flashvet:ops-domain) are exempt: backoff jitter is wall-clock\n" +
+		"policy, not simulation.",
 	Run: run,
 }
 
@@ -56,6 +66,9 @@ func isRandPkg(pkg *types.Package) bool {
 }
 
 func run(pass *analysis.Pass) error {
+	if analysis.OpsDomain(pass, false) {
+		return nil
+	}
 	pass.Inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SelectorExpr:

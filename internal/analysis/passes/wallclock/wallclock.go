@@ -29,7 +29,6 @@ package wallclock
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"flashwear/internal/analysis"
 )
@@ -56,9 +55,6 @@ var opsSources = map[string]map[string]bool{
 	"flashwear/internal/obs": {"WallNow": true},
 }
 
-// opsDomainPrefix is the package-level opt-out declaration.
-const opsDomainPrefix = "flashvet:ops-domain"
-
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock time in simulation code\n\n" +
@@ -69,41 +65,11 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// opsDomain scans the package for //flashvet:ops-domain declarations,
-// reporting malformed ones (no reason) as findings. It returns true only
-// when at least one well-formed declaration exists — a malformed one
-// grants nothing.
-func opsDomain(pass *analysis.Pass) bool {
-	declared := false
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+opsDomainPrefix)
-				if !ok {
-					continue
-				}
-				// An embedded "//" ends the declaration, like ignore
-				// directives: what follows is commentary, not reason.
-				if i := strings.Index(text, "//"); i >= 0 {
-					text = text[:i]
-				}
-				if text != "" && !strings.HasPrefix(text, " ") && !strings.HasPrefix(text, "\t") {
-					pass.Reportf(c.Pos(), "malformed %s declaration: want //%s <reason>", opsDomainPrefix, opsDomainPrefix)
-					continue
-				}
-				if strings.TrimSpace(text) == "" {
-					pass.Reportf(c.Pos(), "%s declaration has no reason: say what this package measures instead of simulating", opsDomainPrefix)
-					continue
-				}
-				declared = true
-			}
-		}
-	}
-	return declared
-}
-
 func run(pass *analysis.Pass) error {
-	exempt := opsDomain(pass)
+	// wallclock is the suite's designated reporter of malformed
+	// declarations (analysis.OpsDomain doc); globalrand consults the same
+	// declarations silently.
+	exempt := analysis.OpsDomain(pass, true)
 	pass.Inspect(func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {

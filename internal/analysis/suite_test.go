@@ -42,6 +42,20 @@ func TestGlobalrandFixture(t *testing.T) {
 	checktest.Run(t, "./testdata/src/globalrand", globalrand.Analyzer)
 }
 
+// TestGlobalrandOpsDomainFixture pins the //flashvet:ops-domain opt-out
+// for globalrand: a declared ops-plane package (retry-backoff jitter)
+// uses the global source and literal seeds with no findings.
+func TestGlobalrandOpsDomainFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/globalrandops", globalrand.Analyzer)
+}
+
+// TestGlobalrandOpsDomainBadFixture pins the failure mode shared with
+// wallclock: a malformed declaration grants no exemption (the finding
+// itself is wallclock's to report, once for the whole suite).
+func TestGlobalrandOpsDomainBadFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/globalrandopsbad", globalrand.Analyzer)
+}
+
 func TestMaporderFixture(t *testing.T) {
 	checktest.Run(t, "./testdata/src/maporder", maporder.Analyzer)
 }

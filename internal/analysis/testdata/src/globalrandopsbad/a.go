@@ -1,0 +1,13 @@
+// Package a pins that a malformed ops-domain declaration grants
+// globalrand no exemption: the global-source call below is still a
+// finding. The malformed declaration itself is reported by wallclock,
+// not here, so the suite emits it once.
+package a
+
+import "math/rand"
+
+//flashvet:ops-domain
+
+func jitter(d int64) int64 {
+	return d/2 + rand.Int63n(d/2+1) // want `global rand\.Int63n draws from the shared process-wide source`
+}

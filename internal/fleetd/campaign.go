@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"flashwear/internal/fleet"
+	"flashwear/internal/hostio"
 	"flashwear/internal/obs"
 	"flashwear/internal/wtrace"
 )
@@ -38,8 +41,10 @@ const (
 // campaigns are in-memory only — still pausable, but a pause discards
 // epoch progress and fork is unavailable.
 type Manager struct {
-	dataDir string
-	metrics *Metrics
+	dataDir   string
+	fs        hostio.FS
+	ckptRetry obs.Backoff
+	metrics   *Metrics
 
 	mu        sync.Mutex
 	logger    *obs.Logger
@@ -57,18 +62,52 @@ type campaignFile struct {
 	Spec CampaignSpec `json:"spec"`
 }
 
-// NewManager creates a manager. A non-empty dataDir is created if needed
-// and scanned for existing campaigns, which are adopted in StatePaused —
-// restart never silently burns CPU; the operator resumes explicitly.
+// Options configures a Manager beyond the data directory.
+type Options struct {
+	// DataDir persists campaign specs and checkpoint cells; empty means
+	// in-memory campaigns only.
+	DataDir string
+	// FS is the host filesystem seam every byte of campaign state goes
+	// through — checkpoint cells, campaign specs, event journals. Nil
+	// means the real host filesystem; tests and the -host-fault-plan flag
+	// install a hostio.FaultFS here.
+	FS hostio.FS
+	// CheckpointRetry paces checkpoint-write retries before a shard
+	// degrades to in-memory carry. The zero value defaults to 3 attempts
+	// at the obs.Backoff default delays.
+	CheckpointRetry obs.Backoff
+}
+
+// NewManager creates a manager over the real host filesystem. A non-empty
+// dataDir is created if needed and scanned for existing campaigns, which
+// are adopted in StatePaused — restart never silently burns CPU; the
+// operator resumes explicitly.
 func NewManager(dataDir string) (*Manager, error) {
-	m := &Manager{dataDir: dataDir, metrics: NewMetrics(), nextID: 1}
-	if dataDir == "" {
+	return NewManagerOpts(Options{DataDir: dataDir})
+}
+
+// NewManagerOpts creates a manager with explicit host-I/O and retry
+// policy. Adoption is self-healing: orphaned checkpoint .tmp files (a
+// crash mid-write) are swept away, and a campaign directory whose
+// campaign.json is missing or garbled is skipped — its ID is still
+// retired so a later submit can never collide with its leftovers.
+func NewManagerOpts(opts Options) (*Manager, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = hostio.OS{}
+	}
+	retry := opts.CheckpointRetry
+	if retry.Attempts < 1 {
+		retry.Attempts = 3
+	}
+	m := &Manager{dataDir: opts.DataDir, fs: fsys, ckptRetry: retry, metrics: NewMetrics(), nextID: 1}
+	if m.dataDir == "" {
 		return m, nil
 	}
-	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+	if err := fsys.MkdirAll(m.dataDir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dataDir)
+	entries, err := fsys.ReadDir(m.dataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -77,28 +116,76 @@ func NewManager(dataDir string) (*Manager, error) {
 		if !e.IsDir() || match == nil {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(dataDir, e.Name(), "campaign.json"))
+		// Retire the ID first: even an unadoptable directory must never be
+		// reused by a fresh submit.
+		if n, err := strconv.Atoi(match[1]); err == nil && n >= m.nextID {
+			m.nextID = n + 1
+		}
+		dir := filepath.Join(m.dataDir, e.Name())
+		swept, err := sweepTmpFiles(fsys, dir)
 		if err != nil {
+			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
+		}
+		raw, err := fsys.ReadFile(filepath.Join(dir, "campaign.json"))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // a submit died before persisting its spec
+			}
 			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
 		}
 		var cf campaignFile
 		if err := json.Unmarshal(raw, &cf); err != nil {
-			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
+			continue // garbled spec: leave the directory alone, skip it
 		}
 		c, err := m.newCampaign(e.Name(), cf.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("fleetd: adopting %s: %w", e.Name(), err)
 		}
 		m.campaigns = append(m.campaigns, c)
-		if n, err := strconv.Atoi(match[1]); err == nil && n >= m.nextID {
-			m.nextID = n + 1
-		}
 		if _, err := c.appendEvent(obs.Event{Type: "adopted", Detail: "found in data directory on startup"}); err != nil {
 			return nil, err
+		}
+		if swept > 0 {
+			if _, err := c.appendEvent(obs.Event{Type: "tmp_swept",
+				Detail: fmt.Sprintf("removed %d orphaned checkpoint .tmp file(s)", swept)}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sort.Slice(m.campaigns, func(i, j int) bool { return m.campaigns[i].id < m.campaigns[j].id })
 	return m, nil
+}
+
+// sweepTmpFiles removes orphaned checkpoint temporaries under one
+// campaign directory — the residue of a process killed mid-write. The
+// writer only ever renames a fully-synced file into place, so every .tmp
+// is garbage by construction.
+func sweepTmpFiles(fsys hostio.FS, campaignDir string) (int, error) {
+	entries, err := fsys.ReadDir(campaignDir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		sub := filepath.Join(campaignDir, e.Name())
+		files, err := fsys.ReadDir(sub)
+		if err != nil {
+			return removed, err
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".tmp") {
+				continue
+			}
+			if err := fsys.Remove(filepath.Join(sub, f.Name())); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // Metrics exposes the manager's ops-domain registry and instruments.
@@ -142,7 +229,7 @@ func (m *Manager) newCampaign(id string, spec CampaignSpec) (*Campaign, error) {
 	if c.dir != "" {
 		journalPath = filepath.Join(c.dir, "events.jsonl")
 	}
-	j, err := obs.OpenJournal(journalPath)
+	j, err := obs.OpenJournalFS(m.fs, journalPath)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +242,12 @@ func (m *Manager) newCampaign(id string, spec CampaignSpec) (*Campaign, error) {
 }
 
 // Submit validates a spec, persists it (when a data directory is
-// configured), and starts the campaign.
+// configured), and starts the campaign. The spec is durable before the
+// campaign is registered or acknowledged: once Submit returns nil, a kill
+// -9 at any later instant leaves a directory the next process adopts — an
+// acknowledged submit is never lost. Conversely a failed Submit registers
+// nothing, and its directory (with no campaign.json) is skipped on
+// adoption, so a client may simply retry.
 func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	m.mu.Lock()
 	id := fmt.Sprintf("c%06d", m.nextID)
@@ -165,14 +257,14 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 		return nil, err
 	}
 	m.nextID++
-	m.campaigns = append(m.campaigns, c)
 	m.mu.Unlock()
 
 	if c.dir != "" {
-		if err := writeCampaignFile(c.dir, c.spec); err != nil {
+		if err := m.writeCampaignFile(c.dir, c.spec); err != nil {
 			return nil, err
 		}
 	}
+	m.register(c)
 	m.metrics.Submits.Inc()
 	if _, err := c.appendEvent(obs.Event{Type: "submitted", Detail: c.spec.Name}); err != nil {
 		return nil, err
@@ -181,15 +273,24 @@ func (m *Manager) Submit(spec CampaignSpec) (*Campaign, error) {
 	return c, nil
 }
 
-func writeCampaignFile(dir string, spec CampaignSpec) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// register adds a fully-persisted campaign to the serving set. Concurrent
+// submits may finish persisting out of ID order, so the slice is re-sorted.
+func (m *Manager) register(c *Campaign) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.campaigns = append(m.campaigns, c)
+	sort.Slice(m.campaigns, func(i, j int) bool { return m.campaigns[i].id < m.campaigns[j].id })
+}
+
+func (m *Manager) writeCampaignFile(dir string, spec CampaignSpec) error {
+	if err := m.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	raw, err := json.MarshalIndent(campaignFile{Spec: spec}, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "campaign.json"), append(raw, '\n'), 0o644)
+	return m.fs.WriteFile(filepath.Join(dir, "campaign.json"), append(raw, '\n'), 0o644)
 }
 
 // Get returns a campaign by ID.
@@ -263,15 +364,15 @@ func (m *Manager) Fork(id string, opts ForkOptions) (*Campaign, error) {
 		return nil, err
 	}
 	m.nextID++
-	m.campaigns = append(m.campaigns, dst)
 	m.mu.Unlock()
 
-	if err := writeCampaignFile(dst.dir, dst.spec); err != nil {
+	if err := m.writeCampaignFile(dst.dir, dst.spec); err != nil {
 		return nil, err
 	}
 	if err := copyCells(src, dst); err != nil {
 		return nil, err
 	}
+	m.register(dst)
 	m.metrics.Forks.Inc()
 	if _, err := dst.appendEvent(obs.Event{Type: "forked", Detail: "from " + src.id}); err != nil {
 		return nil, err
@@ -302,7 +403,7 @@ func copyCells(src, dst *Campaign) error {
 		}
 		for s := 0; s < src.spec.Shards; s++ {
 			if err := restampCell(src, dst, s, e, e == newEpochs); err != nil {
-				if errors.Is(err, os.ErrNotExist) || errors.Is(err, ErrCheckpointTruncated) {
+				if errors.Is(err, fs.ErrNotExist) || errors.Is(err, ErrCheckpointTruncated) {
 					continue // cell not completed; dst's sweep recomputes it
 				}
 				return err
@@ -315,14 +416,14 @@ func copyCells(src, dst *Campaign) error {
 // restampCell copies one (shard, epoch) cell from src to dst, rewriting
 // the identity header for dst's horizon.
 func restampCell(src, dst *Campaign, shard, epoch int, final bool) error {
-	r, err := openCell(cellPath(src.dir, shard, epoch))
+	r, err := openCell(src.mgr.fs, cellPath(src.dir, shard, epoch))
 	if err != nil {
 		return err
 	}
 	defer r.Close()
 	hdr := r.Header
 	hdr.Days = dst.spec.Days
-	w, err := newCkptWriter(cellPath(dst.dir, shard, epoch), hdr)
+	w, err := newCkptWriter(dst.mgr.fs, cellPath(dst.dir, shard, epoch), hdr)
 	if err != nil {
 		return err
 	}
@@ -352,11 +453,20 @@ type Campaign struct {
 	journal *obs.Journal
 	alerts  *alertState
 
+	// drain asks the sweep to stop at the next cell boundary (graceful
+	// shutdown); cleared when a sweep starts.
+	drain atomic.Bool
+
 	mu      sync.Mutex
 	state   State
 	err     error
 	cancel  context.CancelFunc
 	runDone chan struct{}
+	// ckptPaused marks degraded mode: at least one shard's checkpoint
+	// write has exhausted its retry budget and that shard's states are
+	// carried in memory. The campaign keeps simulating; checkpointing
+	// resumes automatically once writes succeed again.
+	ckptPaused bool
 
 	// Committed progress: the fleet-level series over completed epochs,
 	// the cumulative dead-device aggregate, the point-in-time ledger, and
@@ -387,6 +497,7 @@ func (c *Campaign) epochLen() int {
 func (c *Campaign) start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
+	c.drain.Store(false)
 	c.mu.Lock()
 	c.state = StateRunning
 	c.err = nil
@@ -450,6 +561,15 @@ func (c *Campaign) Pause() {
 	}
 }
 
+// Drain asks a running sweep to stop at the next cell boundary without
+// waiting — the graceful-shutdown half of Pause. The sweep exits as
+// paused (every completed cell is already durable, so nothing is lost);
+// use Wait to block until it has. Draining a quiescent campaign is a
+// no-op.
+func (c *Campaign) Drain() {
+	c.drain.Store(true)
+}
+
 // Resume restarts a paused campaign's sweep. Completed cells are reused,
 // so resuming costs only the probe pass plus whatever is genuinely left.
 func (c *Campaign) Resume() error {
@@ -509,6 +629,10 @@ type Status struct {
 	Shards   int    `json:"shards"`
 	Bricked  int64  `json:"bricked"`
 	ReadOnly int64  `json:"read_only"`
+	// CheckpointPaused reports degraded mode: the campaign is simulating
+	// but at least one shard cannot persist checkpoints (full or failing
+	// disk) and is carrying its states in memory instead.
+	CheckpointPaused bool `json:"checkpoint_paused,omitempty"`
 	// LastSeq is the campaign journal's highest event sequence number,
 	// the cursor a client passes as ?since= to tail new events.
 	LastSeq uint64 `json:"last_seq"`
@@ -529,6 +653,7 @@ func (c *Campaign) Status() Status {
 	if c.err != nil {
 		st.Error = c.err.Error()
 	}
+	st.CheckpointPaused = c.ckptPaused
 	st.DaysDone = len(c.series.Rows)
 	if n := len(c.series.Rows); n > 0 {
 		st.Bricked = c.series.Rows[n-1][dBricked]
@@ -570,6 +695,16 @@ func (c *Campaign) Ledger() wtrace.Snapshot {
 // reuse the cell if its checkpoint is valid, otherwise recompute it from
 // the previous epoch's states; then commit the epoch fleet-wide. Fresh
 // starts, crash recovery, resume, and fork all take this exact path.
+//
+// Checkpoint host-I/O failures never stop the sweep: a cell whose write
+// keeps failing after the retry budget is computed anyway with its
+// end-of-epoch device states carried in memory (degraded,
+// "checkpointing-paused" mode), and every subsequent epoch tries to
+// persist again, so the campaign heals itself the moment the disk does.
+// The memory carry lives only within one sweep — after a crash or pause
+// the resumed sweep recomputes the unpersisted epochs from the last
+// durable cells, which yields byte-identical results by the determinism
+// contract.
 func (c *Campaign) sweep(ctx context.Context) error {
 	days := c.spec.Days
 	every := c.epochLen()
@@ -581,14 +716,24 @@ func (c *Campaign) sweep(ctx context.Context) error {
 	c.agg = newAggregate()
 	c.ledger = wtrace.Snapshot{}
 	c.final = nil
+	c.ckptPaused = false
 	c.mu.Unlock()
+	c.mgr.metrics.CheckpointDegraded.Set(0)
 
 	var prev []*epochFooter
+	// prevMem holds, per shard, the device states at the end of epoch e-1
+	// for shards whose cell write failed there; curMem collects the same
+	// for the epoch in flight.
+	var prevMem map[int][]*deviceState
 	for e := 1; e <= epochs; e++ {
 		cur := make([]*epochFooter, shards)
+		curMem := make(map[int][]*deviceState)
 		for s := 0; s < shards; s++ {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if c.drain.Load() {
+				return context.Canceled
 			}
 			var prevFt *epochFooter
 			if prev != nil {
@@ -600,7 +745,7 @@ func (c *Campaign) sweep(ctx context.Context) error {
 					Seed: c.fspec.Seed, Devices: c.fspec.Devices, Days: days,
 					Shard: s, Epoch: e, DayLo: lo, DayHi: hi,
 				}
-				ft, err := loadFooter(cellPath(c.dir, s, e), want)
+				ft, err := loadFooter(c.mgr.fs, cellPath(c.dir, s, e), want)
 				ok, err := cellUsable(ft, err)
 				if err != nil {
 					return err
@@ -619,7 +764,7 @@ func (c *Campaign) sweep(ctx context.Context) error {
 					continue
 				}
 			}
-			ft, err := c.runShardEpoch(ctx, s, e, prevFt)
+			ft, err := c.durableShardEpoch(ctx, s, e, prevFt, prevMem[s], curMem)
 			if err != nil {
 				return err
 			}
@@ -632,18 +777,93 @@ func (c *Campaign) sweep(ctx context.Context) error {
 		if err := c.commitEpoch(cur, e == epochs); err != nil {
 			return err
 		}
+		if len(curMem) == 0 && c.checkpointPaused() {
+			c.setCheckpointPaused(false)
+			if _, err := c.appendEvent(obs.Event{Type: "checkpoint_resumed", Epoch: e,
+				Detail: "checkpoint writes succeeding again; durable state is catching up"}); err != nil {
+				return err
+			}
+		}
 		prev = cur
+		prevMem = curMem
 	}
 	return nil
 }
 
+func (c *Campaign) checkpointPaused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckptPaused
+}
+
+func (c *Campaign) setCheckpointPaused(v bool) {
+	c.mu.Lock()
+	c.ckptPaused = v
+	c.mu.Unlock()
+	if v {
+		c.mgr.metrics.CheckpointDegraded.Set(1)
+	} else {
+		c.mgr.metrics.CheckpointDegraded.Set(0)
+	}
+}
+
+// durableShardEpoch computes cell (shard, epoch) and makes it durable if
+// it possibly can: host-I/O failures on the checkpoint write path retry
+// with capped, jittered backoff (each attempt recomputes the cell — a
+// failed attempt has no complete accumulator to salvage), and when the
+// budget is exhausted the cell is computed one final time with no writer
+// at all, its end states parked in mem for the next epoch's producer.
+// Simulation errors, corruption, and cancellation are never retried.
+func (c *Campaign) durableShardEpoch(ctx context.Context, shard, epoch int, prevFt *epochFooter, prevStates []*deviceState, mem map[int][]*deviceState) (*epochFooter, error) {
+	persist := c.dir != ""
+	var ft *epochFooter
+	if persist {
+		err := c.mgr.ckptRetry.Retry(func(attempt int) (bool, error) {
+			var err error
+			ft, _, err = c.runShardEpoch(ctx, shard, epoch, prevFt, prevStates, true, false)
+			if err != nil && errors.Is(err, errCheckpointIO) && ctx.Err() == nil {
+				c.mgr.metrics.CheckpointRetries.Inc()
+				return true, err
+			}
+			return false, err
+		})
+		if err == nil {
+			return ft, nil
+		}
+		if !errors.Is(err, errCheckpointIO) || ctx.Err() != nil {
+			return nil, err
+		}
+		// Retry budget exhausted: degrade. Compute the cell in memory and
+		// alert once per outage, not once per cell.
+		if !c.checkpointPaused() {
+			c.setCheckpointPaused(true)
+			if _, aerr := c.appendEvent(obs.Event{Type: "checkpoint_paused", Shard: shard, Epoch: epoch,
+				Detail: "checkpoint writes failing after retries; campaign continues in memory: " + err.Error()}); aerr != nil {
+				return nil, aerr
+			}
+		}
+	}
+	ft, states, err := c.runShardEpoch(ctx, shard, epoch, prevFt, prevStates, false, persist)
+	if err != nil {
+		return nil, err
+	}
+	if persist {
+		mem[shard] = states
+	}
+	return ft, nil
+}
+
 // loadFooter's identity header for cell (s, e) needs the day range; the
-// sweep computes it inline above. runShardEpoch recomputes one cell: it
-// streams the shard's device states from the previous epoch's checkpoint
-// (or births the population for epoch 1) through a worker pool into the
-// cell's accumulator and, when a data directory backs the campaign, its
-// checkpoint file.
-func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *epochFooter) (*epochFooter, error) {
+// sweep computes it inline above. runShardEpoch computes one cell: it
+// streams the shard's device states from prevStates (a degraded prior
+// epoch's in-memory carry), or the previous epoch's checkpoint, or births
+// the population for epoch 1, through a worker pool into the cell's
+// accumulator and — when persist is set — its checkpoint file. With
+// capture set, every surviving device's end-of-epoch state is collected
+// and returned so a degraded epoch can seed the next one from memory;
+// runDeviceEpoch never mutates its input state, so a retry may feed the
+// same prevStates again.
+func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *epochFooter, prevStates []*deviceState, persist, capture bool) (*epochFooter, []*deviceState, error) {
 	spec := c.fspec
 	days := c.spec.Days
 	lo, hi := epochDays(epoch, c.epochLen(), days)
@@ -651,16 +871,16 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 	acc := newEpochAcc(days, lo, hi, prevFt)
 
 	var w *ckptWriter
-	if c.dir != "" {
+	if persist {
 		hdr := fileHeader{
 			Seed: spec.Seed, Devices: spec.Devices, Days: days,
 			Shard: shard, Epoch: epoch,
 			DevLo: devLo, DevHi: devHi, DayLo: lo, DayHi: hi,
 		}
 		var err error
-		w, err = newCkptWriter(cellPath(c.dir, shard, epoch), hdr)
+		w, err = newCkptWriter(c.mgr.fs, cellPath(c.dir, shard, epoch), hdr)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		w.metrics = c.mgr.metrics
 	}
@@ -674,7 +894,17 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 	var prodErr error
 	go func() {
 		defer close(jobs)
-		if epoch == 1 {
+		switch {
+		case prevStates != nil:
+			for _, st := range prevStates {
+				select {
+				case jobs <- job{idx: st.Index, st: st}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			return
+		case epoch == 1:
 			for i := devLo; i < devHi; i++ {
 				select {
 				case jobs <- job{idx: i}:
@@ -684,7 +914,7 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 			}
 			return
 		}
-		r, err := openCell(cellPath(c.dir, shard, epoch-1))
+		r, err := openCell(c.mgr.fs, cellPath(c.dir, shard, epoch-1))
 		if err != nil {
 			prodErr = err
 			return
@@ -706,6 +936,7 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var workErr error
+	var captured []*deviceState
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
@@ -723,6 +954,11 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 				st, err := runDeviceEpoch(spec, spec.Sample(jb.idx), jb.st, acc)
 				if err == nil && st != nil && w != nil {
 					err = w.writeDevice(st)
+				}
+				if err == nil && st != nil && capture {
+					errMu.Lock()
+					captured = append(captured, st)
+					errMu.Unlock()
 				}
 				if err != nil {
 					errMu.Lock()
@@ -747,25 +983,25 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 		if w != nil {
 			w.abort()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	ft, err := acc.footer(shard, epoch)
 	if err != nil {
 		if w != nil {
 			w.abort()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	if w != nil {
 		if err := w.finish(ft); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := c.appendEvent(obs.Event{Type: "checkpoint_written", Shard: shard, Epoch: epoch,
 			Detail: fmt.Sprintf("bytes=%d", w.bytes)}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return ft, nil
+	return ft, captured, nil
 }
 
 // commitEpoch merges the epoch's shard footers and publishes them: the

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
+
+	"flashwear/internal/hostio"
 )
 
 // Checkpoint directory layout, under the manager's data directory:
@@ -35,12 +37,30 @@ func cellPath(campaignDir string, shard, epoch int) string {
 	return filepath.Join(shardDir(campaignDir, shard), fmt.Sprintf("epoch-%06d.ckpt", epoch))
 }
 
+// errCheckpointIO tags every host-I/O failure on the checkpoint write
+// path — create, buffered write, fsync, close, rename. The sweep keys its
+// retry-then-degrade policy on it: an error carrying this sentinel means
+// the simulation itself is fine and only durability is in trouble, so the
+// cell may be recomputed and retried (or carried in memory); any other
+// error is a sim or corruption failure and stops the campaign.
+var errCheckpointIO = errors.New("fleetd: checkpoint host I/O")
+
+// ckptIOErr wraps a host-I/O failure with the retryable sentinel.
+func ckptIOErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", errCheckpointIO, err)
+}
+
 // ckptWriter streams one cell to disk. Device frames may be appended from
 // multiple workers concurrently; finish seals the file and renames it
-// into place.
+// into place. All host I/O goes through the injected hostio.FS, and every
+// I/O failure it surfaces carries errCheckpointIO.
 type ckptWriter struct {
 	mu      sync.Mutex
-	f       *os.File
+	fsys    hostio.FS
+	f       hostio.File
 	bw      *bufio.Writer
 	path    string
 	tmp     string
@@ -49,16 +69,16 @@ type ckptWriter struct {
 	metrics *Metrics // optional ops accounting; nil for bare writers
 }
 
-func newCkptWriter(path string, hdr fileHeader) (*ckptWriter, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, err
+func newCkptWriter(fsys hostio.FS, path string, hdr fileHeader) (*ckptWriter, error) {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, ckptIOErr(err)
 	}
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
-		return nil, err
+		return nil, ckptIOErr(err)
 	}
-	w := &ckptWriter{f: f, bw: bufio.NewWriterSize(f, 1<<20), path: path, tmp: tmp}
+	w := &ckptWriter{fsys: fsys, f: f, bw: bufio.NewWriterSize(f, 1<<20), path: path, tmp: tmp}
 	w.bytes += int64(len(fileMagic)) + 4
 	var e enc
 	e.raw([]byte(fileMagic))
@@ -84,17 +104,17 @@ func (w *ckptWriter) frameLocked(typ byte, payload []byte) {
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		w.err = err
+		w.err = ckptIOErr(err)
 		return
 	}
 	if _, err := w.bw.Write(payload); err != nil {
-		w.err = err
+		w.err = ckptIOErr(err)
 		return
 	}
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	if _, err := w.bw.Write(crc[:]); err != nil {
-		w.err = err
+		w.err = ckptIOErr(err)
 		return
 	}
 	w.bytes += int64(len(hdr)) + int64(len(payload)) + int64(len(crc))
@@ -113,7 +133,9 @@ func (w *ckptWriter) writeDevice(st *deviceState) error {
 }
 
 // finish appends the footer frame and the end marker, syncs, and renames
-// the file into place. After finish returns nil the cell is durable.
+// the file into place. After finish returns nil the cell is durable. Any
+// failure — including a failed sync or rename — removes the .tmp, so no
+// error path leaves a stray temporary behind.
 func (w *ckptWriter) finish(ft *epochFooter) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -121,31 +143,37 @@ func (w *ckptWriter) finish(ft *epochFooter) error {
 	e.footer(ft)
 	w.frameLocked(frameFooter, e.b)
 	if w.err == nil {
-		_, w.err = w.bw.WriteString(endMagic)
+		if _, err := w.bw.WriteString(endMagic); err != nil {
+			w.err = ckptIOErr(err)
+		}
 		w.bytes += int64(len(endMagic))
 	}
 	if w.err == nil {
-		w.err = w.bw.Flush()
-	}
-	if w.err == nil {
-		if w.metrics != nil {
-			stop := w.metrics.FsyncSeconds.Time()
-			w.err = w.f.Sync()
-			stop()
-		} else {
-			w.err = w.f.Sync()
+		if err := w.bw.Flush(); err != nil {
+			w.err = ckptIOErr(err)
 		}
 	}
+	if w.err == nil {
+		var err error
+		if w.metrics != nil {
+			stop := w.metrics.FsyncSeconds.Time()
+			err = w.f.Sync()
+			stop()
+		} else {
+			err = w.f.Sync()
+		}
+		w.err = ckptIOErr(err)
+	}
 	if err := w.f.Close(); w.err == nil {
-		w.err = err
+		w.err = ckptIOErr(err)
 	}
 	if w.err != nil {
-		os.Remove(w.tmp)
+		w.fsys.Remove(w.tmp)
 		return w.err
 	}
-	if err := os.Rename(w.tmp, w.path); err != nil {
-		os.Remove(w.tmp)
-		return err
+	if err := w.fsys.Rename(w.tmp, w.path); err != nil {
+		w.fsys.Remove(w.tmp)
+		return ckptIOErr(err)
 	}
 	if w.metrics != nil {
 		w.metrics.CheckpointBytes.Add(w.bytes)
@@ -159,23 +187,23 @@ func (w *ckptWriter) abort() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.f.Close()
-	os.Remove(w.tmp)
+	w.fsys.Remove(w.tmp)
 }
 
 // ckptReader streams a cell's frames back. It verifies structure and CRCs
 // as it goes and classifies every failure as exactly one of the three
 // checkpoint errors.
 type ckptReader struct {
-	f      *os.File
+	f      hostio.File
 	br     *bufio.Reader
 	Header fileHeader
 }
 
 // openCell opens a cell file and consumes the magic, version, and header
-// frame. Missing files surface as os.ErrNotExist (the sweep's "cell not
+// frame. Missing files surface as fs.ErrNotExist (the sweep's "cell not
 // done" signal, not a checkpoint error).
-func openCell(path string) (*ckptReader, error) {
-	f, err := os.Open(path)
+func openCell(fsys hostio.FS, path string) (*ckptReader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +321,8 @@ func (r *ckptReader) scan(dev func(*deviceState) error) (*epochFooter, error) {
 // identity fields (Seed, Devices, Days, Shard, Epoch — zero ranges in hdr
 // are not checked), walks every frame for integrity, and returns the
 // footer. It is the sweep's "is this cell done and mine" probe.
-func loadFooter(path string, want fileHeader) (*epochFooter, error) {
-	r, err := openCell(path)
+func loadFooter(fsys hostio.FS, path string, want fileHeader) (*epochFooter, error) {
+	r, err := openCell(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +343,7 @@ func cellUsable(ft *epochFooter, err error) (bool, error) {
 	switch {
 	case err == nil:
 		return true, nil
-	case errors.Is(err, os.ErrNotExist), errors.Is(err, ErrCheckpointTruncated):
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCheckpointTruncated):
 		return false, nil
 	default:
 		return false, err

@@ -3,12 +3,16 @@ package fleetd
 import (
 	"bufio"
 	"bytes"
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"flashwear/internal/obs"
 )
@@ -16,11 +20,25 @@ import (
 // Client is the Go-side counterpart of Server — a thin wrapper the
 // fleetd CLI's client mode drives. Errors from the API surface as
 // *APIError carrying the HTTP status.
+//
+// Requests are resilient by default: each attempt runs under a
+// per-request timeout, and transport errors, 5xx, and 429 responses are
+// retried with capped, jittered backoff. Mutating requests carry a fresh
+// Idempotency-Key for all their attempts, so a retry after an ambiguous
+// failure (timeout after the server committed) replays the original
+// outcome instead of double-executing. Other 4xx responses are never
+// retried — the request itself is wrong.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:7070".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each attempt (not the whole retry loop). Zero means
+	// 60s; the streaming Watch is exempt.
+	Timeout time.Duration
+	// Retry paces re-attempts. The zero value means 3 attempts at the
+	// obs.Backoff default delays; set Attempts to 1 to disable retries.
+	Retry obs.Backoff
 }
 
 // APIError is a non-2xx response decoded from the server's error body.
@@ -40,40 +58,104 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues a request and returns the response body on 2xx.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 60 * time.Second
+}
+
+func (c *Client) retry() obs.Backoff {
+	b := c.Retry
+	if b.Attempts < 1 {
+		b.Attempts = 3
+	}
+	return b
+}
+
+// newIdempotencyKey draws a random key binding a mutating request's
+// attempts together. Entropy comes from crypto/rand: this is a protocol
+// nonce, not simulation randomness, so the seeded-RNG rules don't apply.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Ambient entropy unavailable: send no key rather than a
+		// colliding one; the request simply loses retry-dedup.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// the server or an intermediary failed (5xx) or asked for pacing (429),
+// as opposed to the request being wrong (other 4xx).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// do issues a request, retrying per the client policy, and returns the
+// response body on 2xx.
 func (c *Client) do(method, path string, body any) ([]byte, error) {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return nil, err
 		}
-		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	idemKey := ""
+	if method != http.MethodGet && method != http.MethodHead {
+		idemKey = newIdempotencyKey()
+	}
+	var out []byte
+	err := c.retry().Retry(func(int) (bool, error) {
+		var retryable bool
+		var err error
+		out, retryable, err = c.attempt(method, path, raw, body != nil, idemKey)
+		return retryable, err
+	})
+	return out, err
+}
+
+// attempt is one bounded request/response cycle.
+func (c *Client) attempt(method, path string, body []byte, hasBody bool, idemKey string) (raw []byte, retryable bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout())
+	defer cancel()
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		// Transport failure or timeout: ambiguous, safe to retry thanks to
+		// the idempotency key.
+		return nil, true, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if resp.StatusCode/100 != 2 {
 		var ae apiError
+		msg := string(raw)
 		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return nil, &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+			msg = ae.Error
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: string(raw)}
+		return nil, retryableStatus(resp.StatusCode), &APIError{StatusCode: resp.StatusCode, Message: msg}
 	}
-	return raw, nil
+	return raw, false, nil
 }
 
 func (c *Client) getJSON(path string, out any) error {

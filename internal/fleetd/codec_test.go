@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"flashwear/internal/hostio"
 )
 
 // realCell runs a tiny disk-backed campaign and returns the path of one
@@ -29,7 +31,7 @@ func realCell(t *testing.T) string {
 // history dependence anywhere in the codec.
 func TestCodecReencodeIdentity(t *testing.T) {
 	path := realCell(t)
-	r, err := openCell(path)
+	r, err := openCell(hostio.OS{}, path)
 	if err != nil {
 		t.Fatalf("openCell: %v", err)
 	}
@@ -95,7 +97,7 @@ func TestCheckpointCorruptionTable(t *testing.T) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatalf("write damaged cell: %v", err)
 		}
-		r, err := openCell(path)
+		r, err := openCell(hostio.OS{}, path)
 		if err != nil {
 			return err
 		}
@@ -148,14 +150,14 @@ func TestCheckpointCorruptionTable(t *testing.T) {
 // different campaign must be refused, not resumed from.
 func TestCellIdentityCheck(t *testing.T) {
 	path := realCell(t)
-	r, err := openCell(path)
+	r, err := openCell(hostio.OS{}, path)
 	if err != nil {
 		t.Fatalf("openCell: %v", err)
 	}
 	want := r.Header
 	r.Close()
 	want.Seed++
-	if _, err := loadFooter(path, want); !errors.Is(err, ErrCheckpointCorrupt) {
+	if _, err := loadFooter(hostio.OS{}, path, want); !errors.Is(err, ErrCheckpointCorrupt) {
 		t.Fatalf("foreign cell loaded with error %v, want ErrCheckpointCorrupt", err)
 	}
 }

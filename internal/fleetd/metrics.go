@@ -20,6 +20,11 @@ type Metrics struct {
 	CheckpointBytes  *obs.Counter
 	CheckpointWrites *obs.Counter
 	FsyncSeconds     *obs.Histogram
+	// Host-fault resilience: write attempts burned on retries, and
+	// whether any campaign is currently in checkpointing-paused
+	// (degraded, in-memory carry) mode.
+	CheckpointRetries  *obs.Counter
+	CheckpointDegraded *obs.Gauge
 
 	// Campaign lifecycle.
 	Submits *obs.Counter
@@ -49,6 +54,10 @@ func NewMetrics() *Metrics {
 		FsyncSeconds: r.Histogram("fleetd_checkpoint_fsync_seconds",
 			"Latency of the fsync that makes a checkpoint cell durable.",
 			obs.DurationBuckets),
+		CheckpointRetries: r.Counter("fleetd_checkpoint_retries_total",
+			"Checkpoint cell write attempts retried after a host I/O failure."),
+		CheckpointDegraded: r.Gauge("fleetd_checkpoint_degraded",
+			"1 while a campaign is in checkpointing-paused mode (simulating with in-memory state carry because checkpoint writes fail), else 0."),
 		Submits: r.Counter("fleetd_campaign_submits_total",
 			"Campaigns submitted."),
 		Resumes: r.Counter("fleetd_campaign_resumes_total",

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"flashwear/internal/obs"
 )
@@ -29,21 +31,27 @@ import (
 // Every query serves committed state under the campaign mutex, so
 // polling mid-run never observes a half-merged epoch. Every route runs
 // through the obs middleware: panic recovery, request metrics, and (when
-// the manager has a logger) a structured log line per request.
+// the manager has a logger) a structured log line per request. Mutating
+// routes additionally honor the Idempotency-Key header (see idemStore),
+// so a client that timed out can retry without double-executing.
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr  *Manager
+	mux  *http.ServeMux
+	idem *idemStore
+
+	shutdownOnce sync.Once
+	shutdown     chan struct{}
 }
 
 // NewServer wraps a manager in an HTTP handler.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), idem: newIdemStore(0), shutdown: make(chan struct{})}
 	handle := func(pattern string, h http.HandlerFunc) {
 		// The mux pattern doubles as the route label so metric cardinality
 		// stays fixed no matter what IDs clients request.
 		s.mux.Handle(pattern, obs.Instrument(pattern, mgr.metrics.HTTP, mgr.Logger(), h))
 	}
-	handle("POST /v1/campaigns", s.submit)
+	handle("POST /v1/campaigns", s.idempotent(s.submit))
 	handle("GET /v1/campaigns", s.list)
 	handle("GET /v1/campaigns/{id}", s.status)
 	handle("GET /v1/campaigns/{id}/series", s.series)
@@ -51,11 +59,18 @@ func NewServer(mgr *Manager) *Server {
 	handle("GET /v1/campaigns/{id}/result", s.result)
 	handle("GET /v1/campaigns/{id}/events", s.events)
 	handle("GET /v1/campaigns/{id}/watch", s.watch)
-	handle("POST /v1/campaigns/{id}/pause", s.pause)
-	handle("POST /v1/campaigns/{id}/resume", s.resume)
-	handle("POST /v1/campaigns/{id}/fork", s.fork)
+	handle("POST /v1/campaigns/{id}/pause", s.idempotent(s.pause))
+	handle("POST /v1/campaigns/{id}/resume", s.idempotent(s.resume))
+	handle("POST /v1/campaigns/{id}/fork", s.idempotent(s.fork))
 	handle("GET /metrics", mgr.metrics.Registry.ServeHTTP)
 	return s
+}
+
+// Shutdown releases long-lived SSE watch streams so http.Server.Shutdown
+// can finish draining. Idempotent; new watch requests after Shutdown end
+// immediately after their replay.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
 }
 
 // ServeHTTP implements http.Handler.
@@ -216,6 +231,10 @@ func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
 		return
 	}
+	// The server's WriteTimeout (slowloris protection on every other
+	// route) would kill a healthy long-lived stream; clear the deadline
+	// for this response only.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -243,6 +262,11 @@ func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-ctx.Done():
+			return
+		case <-s.shutdown:
+			// Graceful server shutdown: end the stream cleanly so
+			// http.Server.Shutdown can drain; the client reconnects to the
+			// restarted server from its last seen id.
 			return
 		case e, open := <-ch:
 			if !open {

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"flashwear/internal/hostio"
 )
 
 // Event is one entry of a campaign's journal. Two kinds share the record:
@@ -66,37 +68,69 @@ func (e Event) SimString() string {
 // per append — events are epoch-cadence, not device-cadence) and reloads
 // on open, tolerating a torn final line from a crash mid-append; without
 // a path it is memory-only. All methods are safe for concurrent use.
+//
+// # Degraded mode
+//
+// A journal must never take the campaign down with it: when the host
+// disk fails an append (ENOSPC, EIO on write or sync), the event is
+// parked in a bounded in-memory ring and Append still succeeds — the
+// in-memory log and subscriber fan-out are unaffected. Every later
+// append first retries recovery: the file is truncated back to its last
+// fully-synced offset (discarding any partial bytes a torn write left)
+// and the whole ring replays in order under one fsync, so the on-disk
+// sequence stays contiguous with no gaps. If the ring overflows
+// (RingCap, default 1024) the journal gives up on persistence for the
+// rest of this process — the on-disk file keeps its clean contiguous
+// prefix and a restart adopts from that — rather than ever writing a
+// sequence gap.
 type Journal struct {
 	// Logger, when set (before first use), mirrors every append as a
 	// structured log line tagged Tag.
 	Logger *Logger
 	Tag    string
+	// RingCap bounds the degraded-mode ring (set before first use;
+	// 0 means 1024).
+	RingCap int
 
-	mu      sync.Mutex
-	f       *os.File // nil when memory-only
-	events  []Event
-	subs    []*subscriber
-	nextSeq uint64
+	mu          sync.Mutex
+	fs          hostio.FS
+	f           hostio.File // nil when memory-only
+	path        string
+	goodOff     int64   // bytes of durable, fully-synced, contiguous prefix
+	ring        []Event // appended but not yet persisted (degraded mode)
+	lost        bool    // ring overflowed: persistence abandoned for this process
+	recoveries  int64
+	persistErrs int64
+	events      []Event
+	subs        []*subscriber
+	nextSeq     uint64
 }
 
 type subscriber struct {
 	ch chan Event
 }
 
-// OpenJournal opens (or creates) the journal at path, replaying existing
-// events; an empty path makes a memory-only journal. A torn final line —
-// the signature of a crash mid-append — is truncated away, so the next
-// append continues the contiguous sequence; a gap or duplicate in the
-// replayed sequence numbers is corruption and fails the open.
+// OpenJournal opens (or creates) the journal at path over the real host
+// filesystem; an empty path makes a memory-only journal.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{}
+	return OpenJournalFS(hostio.OS{}, path)
+}
+
+// OpenJournalFS opens (or creates) the journal at path over fsys,
+// replaying existing events; an empty path makes a memory-only journal.
+// A torn final line — the signature of a crash mid-append — is truncated
+// away, so the next append continues the contiguous sequence; a gap or
+// duplicate in the replayed sequence numbers is corruption and fails the
+// open.
+func OpenJournalFS(fsys hostio.FS, path string) (*Journal, error) {
+	j := &Journal{fs: fsys}
 	if path == "" {
 		return j, nil
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -132,29 +166,29 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, err
 	}
 	j.f = f
+	j.path = path
+	j.goodOff = good
 	return j, nil
 }
 
 // Append assigns the next sequence number and wall timestamp, persists
 // the event (when file-backed), fans it out to subscribers, and returns
-// the completed event.
+// the completed event. A host-I/O failure does not fail the append: the
+// event is parked in the degraded ring and replayed once writes succeed
+// again (see the type comment); the only error Append can return is a
+// marshal failure.
 func (j *Journal) Append(e Event) (Event, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.nextSeq++
 	e.Seq = j.nextSeq
 	e.WallMs = WallNow().UnixMilli()
-	if j.f != nil {
+	if j.f != nil && !j.lost {
 		raw, err := json.Marshal(e)
 		if err != nil {
 			return Event{}, err
 		}
-		if _, err := j.f.Write(append(raw, '\n')); err != nil {
-			return Event{}, fmt.Errorf("obs: journal append: %w", err)
-		}
-		if err := j.f.Sync(); err != nil {
-			return Event{}, fmt.Errorf("obs: journal sync: %w", err)
-		}
+		j.persistLocked(e, append(raw, '\n'))
 	}
 	j.events = append(j.events, e)
 	live := j.subs[:0]
@@ -171,6 +205,113 @@ func (j *Journal) Append(e Event) (Event, error) {
 	j.subs = live
 	j.Logger.Log("journal", "campaign", j.Tag, "seq", e.Seq, "type", e.Type, "detail", e.Detail)
 	return e, nil
+}
+
+// persistLocked writes one marshaled event durably, degrading to the
+// ring on failure. When the ring is non-empty the event joins it and a
+// full recovery is attempted instead, so events only ever reach the file
+// in sequence order.
+func (j *Journal) persistLocked(e Event, line []byte) {
+	if len(j.ring) > 0 {
+		j.enqueueLocked(e)
+		j.recoverLocked()
+		return
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.persistErrs++
+		j.Logger.Log("journal_degraded", "campaign", j.Tag, "seq", e.Seq, "err", err.Error())
+		j.enqueueLocked(e)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.persistErrs++
+		j.Logger.Log("journal_degraded", "campaign", j.Tag, "seq", e.Seq, "err", err.Error())
+		j.enqueueLocked(e)
+		return
+	}
+	j.goodOff += int64(len(line))
+}
+
+// enqueueLocked parks an event in the degraded ring. On overflow the
+// journal abandons persistence for the rest of the process: a sequence
+// gap on disk would read as corruption on the next open, so the durable
+// file keeps its clean contiguous prefix instead.
+func (j *Journal) enqueueLocked(e Event) {
+	ringCap := j.RingCap
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	if len(j.ring) >= ringCap {
+		j.lost = true
+		j.ring = nil
+		// Best effort: leave the file a clean contiguous prefix for the
+		// next process to adopt.
+		if err := j.f.Truncate(j.goodOff); err == nil {
+			j.f.Seek(j.goodOff, io.SeekStart)
+		}
+		j.Logger.Log("journal_lost", "campaign", j.Tag, "ring_cap", ringCap)
+		return
+	}
+	j.ring = append(j.ring, e)
+}
+
+// recoverLocked tries to replay the ring: truncate away any partial
+// bytes past the durable prefix, rewrite every parked event in order,
+// and fsync once. Only a fully-synced replay advances goodOff and clears
+// the ring, so a failure mid-replay changes nothing durable.
+func (j *Journal) recoverLocked() bool {
+	if err := j.f.Truncate(j.goodOff); err != nil {
+		return false
+	}
+	if _, err := j.f.Seek(j.goodOff, io.SeekStart); err != nil {
+		return false
+	}
+	var buf bytes.Buffer
+	for _, e := range j.ring {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		buf.Write(raw)
+		buf.WriteByte('\n')
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		j.persistErrs++
+		return false
+	}
+	if err := j.f.Sync(); err != nil {
+		j.persistErrs++
+		return false
+	}
+	j.goodOff += int64(buf.Len())
+	j.Logger.Log("journal_recovered", "campaign", j.Tag, "replayed", len(j.ring))
+	j.ring = nil
+	j.recoveries++
+	return true
+}
+
+// Pending returns how many appended events await persistence (0 when
+// healthy or memory-only).
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.ring)
+}
+
+// Lost reports whether the degraded ring overflowed and persistence was
+// abandoned for this process.
+func (j *Journal) Lost() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lost
+}
+
+// PersistStats returns (persist failures, successful ring recoveries) —
+// ops counters for /metrics.
+func (j *Journal) PersistStats() (failures, recoveries int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.persistErrs, j.recoveries
 }
 
 // Events returns a copy of every event with Seq > since.

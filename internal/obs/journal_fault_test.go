@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"flashwear/internal/hostio"
+)
+
+// openFaultJournal opens a journal at path over a FaultFS built from the
+// given plan string.
+func openFaultJournal(t *testing.T, path, plan string) *Journal {
+	t.Helper()
+	p, err := hostio.ParsePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournalFS(hostio.NewFaultFS(hostio.OS{}, p), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// reopenClean reopens the journal file over the real filesystem and
+// returns its replayed events — what the next process would adopt.
+func reopenClean(t *testing.T, path string) []Event {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer j.Close()
+	return j.Events(0)
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(Event{Type: "tick", Detail: fmt.Sprintf("n%d", i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func wantContiguous(t *testing.T, events []Event, n int) {
+	t.Helper()
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+// A Sync that fails mid-frame must not lose the event or poison the
+// file: the append parks in the ring, the next append replays it, and a
+// clean reopen sees every event contiguously.
+func TestJournalSyncFailRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j := openFaultJournal(t, path, "class=journal,fault=eio,on=sync,at=2")
+	appendN(t, j, 1)
+	if j.Pending() != 0 {
+		t.Fatalf("healthy append parked: pending = %d", j.Pending())
+	}
+	appendN(t, j, 1) // sync #2 fails
+	if j.Pending() != 1 {
+		t.Fatalf("after failed sync: pending = %d, want 1", j.Pending())
+	}
+	appendN(t, j, 1) // triggers recovery replay
+	if j.Pending() != 0 {
+		t.Fatalf("after recovery: pending = %d, want 0", j.Pending())
+	}
+	fails, recovs := j.PersistStats()
+	if fails == 0 || recovs != 1 {
+		t.Fatalf("persist stats = (%d fails, %d recoveries)", fails, recovs)
+	}
+	j.Close()
+	wantContiguous(t, reopenClean(t, path), 3)
+}
+
+// A torn write leaves partial bytes past the durable prefix; recovery
+// must truncate them away before replaying, or the reopened journal
+// would find a garbled line.
+func TestJournalTornWriteRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j := openFaultJournal(t, path, "class=journal,fault=torn,on=write,at=2")
+	appendN(t, j, 4)
+	if j.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after recovery", j.Pending())
+	}
+	j.Close()
+	wantContiguous(t, reopenClean(t, path), 4)
+}
+
+// A persistent failure window parks several events; the first append
+// after the window replays them all under one fsync, in order.
+func TestJournalRingReplayAfterWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j := openFaultJournal(t, path, "class=journal,fault=enospc,on=write,from=2,until=6")
+	appendN(t, j, 6)
+	if j.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after the window closed", j.Pending())
+	}
+	if j.Lost() {
+		t.Fatal("journal reported lost; ring should have absorbed the window")
+	}
+	j.Close()
+	wantContiguous(t, reopenClean(t, path), 6)
+	// The in-memory log was never affected.
+	wantContiguous(t, j.Events(0), 6)
+}
+
+// Ring overflow abandons persistence but must leave the on-disk file a
+// clean contiguous prefix — never a sequence gap — and keep serving the
+// full log from memory.
+func TestJournalRingOverflowKeepsCleanPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j := openFaultJournal(t, path, "class=journal,fault=enospc,on=write,from=2")
+	j.RingCap = 2
+	appendN(t, j, 8)
+	if !j.Lost() {
+		t.Fatal("want Lost() after ring overflow")
+	}
+	// Memory still has everything, contiguous.
+	wantContiguous(t, j.Events(0), 8)
+	j.Close()
+	// Disk has only the durable prefix (event 1), still contiguous and
+	// adoptable.
+	wantContiguous(t, reopenClean(t, path), 1)
+}

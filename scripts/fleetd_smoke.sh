@@ -35,8 +35,9 @@ ADDR="127.0.0.1:${FLEETD_SMOKE_PORT:-17071}"
 BASE="http://$ADDR"
 SPEC='{"name":"smoke","devices":6,"days":12,"seed":7,"scale":65536,"buggy":0.2,"attack":0.2,"wear_trace":true,"shards":2,"workers":2,"checkpoint_every":2}'
 
-start_server() { # $1 = data dir
-    "$OUT/fleetd" serve -addr "$ADDR" -data "$1" 2>>"$OUT/server.log" &
+start_server() { # $1 = data dir, rest = extra serve flags
+    local data="$1"; shift
+    "$OUT/fleetd" serve -addr "$ADDR" -data "$data" "$@" 2>>"$OUT/server.log" &
     SERVER_PID=$!
     for _ in $(seq 1 50); do
         if curl -sf "$BASE/v1/campaigns" >/dev/null 2>&1; then return 0; fi
@@ -64,6 +65,11 @@ check_journal() { # $1 = prefix: non-empty journal, seq contiguous from 1
         $1 != NR { printf "fleetd_smoke: seq %s at journal line %d (gap or duplicate)\n", $1, NR; exit 1 }'
 }
 
+check_no_tmp() { # $1 = data dir: adoption must have swept checkpoint temporaries
+    STRAYS=$(find "$1" -name '*.tmp' 2>/dev/null || true)
+    [ -z "$STRAYS" ] || { echo "fleetd_smoke: stray checkpoint temporaries after restart:" >&2; echo "$STRAYS" >&2; exit 1; }
+}
+
 echo "fleetd_smoke: reference run (uninterrupted)"
 start_server "$OUT/data-ref"
 REF_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
@@ -84,6 +90,9 @@ kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 
 echo "fleetd_smoke: restart, resume, finish"
 start_server "$OUT/data-crash"
+# A kill -9 can land mid-checkpoint-write; adoption must leave the data
+# dir consistent — every cell fully renamed, every orphaned .tmp swept.
+check_no_tmp "$OUT/data-crash"
 STATE=$(curl -sf "$BASE/v1/campaigns/$CRASH_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
 [ "$STATE" = "paused" ] || { echo "fleetd_smoke: adopted state = $STATE, want paused" >&2; exit 1; }
 curl -sf -X POST "$BASE/v1/campaigns/$CRASH_ID/resume" >/dev/null
@@ -96,8 +105,34 @@ grep -q '"type":"adopted"' "$OUT/crash-events.jsonl" \
     || { echo "fleetd_smoke: crash journal lost the adoption record" >&2; exit 1; }
 kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 
+echo "fleetd_smoke: bad-disk run (host-fault injection + kill -9 mid-checkpoint)"
+# Checkpoint syncs fail EIO on a schedule and one journal write hits
+# ENOSPC: the server must retry/degrade per DESIGN.md §13 while the
+# campaign keeps its results exact. The kill lands while checkpoints are
+# in flight, so the restart also proves the .tmp sweep.
+FAULT_PLAN='class=checkpoint,fault=eio,on=sync,at=2;5;9|class=journal,fault=enospc,on=write,at=4'
+start_server "$OUT/data-fault" -host-fault-plan "$FAULT_PLAN"
+FAULT_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+sleep 1.5  # die with checkpoints in flight under the fault plan
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+echo "fleetd_smoke: restart on a healed disk, resume, finish"
+start_server "$OUT/data-fault"
+check_no_tmp "$OUT/data-fault"
+STATE=$(curl -sf "$BASE/v1/campaigns/$FAULT_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+[ "$STATE" = "paused" ] || { echo "fleetd_smoke: fault-run adopted state = $STATE, want paused" >&2; exit 1; }
+curl -sf -X POST "$BASE/v1/campaigns/$FAULT_ID/resume" >/dev/null
+"$OUT/fleetd" wait -addr "$BASE" -every 500ms "$FAULT_ID" >/dev/null
+fetch_artifacts "$FAULT_ID" fault
+check_journal fault
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
 cmp "$OUT/ref-series.csv" "$OUT/crash-series.csv"
 cmp "$OUT/ref-ledger.csv" "$OUT/crash-ledger.csv"
 cmp "$OUT/ref-result.json" "$OUT/crash-result.json"
 cmp "$OUT/ref-sim-events.jsonl" "$OUT/crash-sim-events.jsonl"
-echo "fleetd_smoke: OK — kill -9 + resume is byte-identical to the uninterrupted run (series, ledger, result, sim events)"
+cmp "$OUT/ref-series.csv" "$OUT/fault-series.csv"
+cmp "$OUT/ref-ledger.csv" "$OUT/fault-ledger.csv"
+cmp "$OUT/ref-result.json" "$OUT/fault-result.json"
+cmp "$OUT/ref-sim-events.jsonl" "$OUT/fault-sim-events.jsonl"
+echo "fleetd_smoke: OK — kill -9 + resume (clean and faulty disk) is byte-identical to the uninterrupted run (series, ledger, result, sim events)"
