@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench faults torture wtrace fleetd-smoke fleetd-bigsmoke check
+.PHONY: all build vet lint test race bench benchsnap faults torture wtrace fleetd-smoke fleetd-bigsmoke check
 
 all: build
 
@@ -32,6 +32,7 @@ race:
 	$(GO) test -race -count=1 -run TestFleet ./internal/fleet/
 	$(GO) test -race -count=1 -run 'TestRegistryConcurrent|TestWtraceCollector' ./internal/telemetry/
 	$(GO) test -race -count=1 -run TestConcurrentLedger ./internal/wtrace/
+	$(GO) test -race -count=1 -run TestConcurrentSpans ./internal/runtrace/
 	$(GO) test -race -count=1 -run 'TestCampaignInMemory|TestServerAPI|TestResumeAfterTruncatedCell' ./internal/fleetd/
 
 # The fault matrix under -race: randomized power-cut/remount recovery,
@@ -63,6 +64,14 @@ torture:
 # -benchtime=1x keeps it a smoke run. Drop the flag for real timings.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .
+
+# Benchmark-trajectory snapshot (DESIGN.md §14): fleet scaling devices/s,
+# runtrace recording overhead, and a live campaign's per-phase wall-time
+# split, written to BENCH_fleetd.json (committed) with raw artifacts in
+# benchsnap-out/. Deliberately NOT part of check: timings are machine-
+# dependent, so the committed file is refreshed by hand, not by CI.
+benchsnap:
+	./scripts/bench_snapshot.sh
 
 # End-to-end wear-attribution smoke (DESIGN.md §9): run the CLIs with
 # tracing on, then validate every artifact with wtracecheck — the ledger's

@@ -23,6 +23,8 @@
 //	fleetd wait <id>          # poll until done/failed/paused
 //	fleetd events <id>        # journal events so far, JSON on stdout
 //	fleetd watch <id>         # live event stream, one line per event
+//	fleetd trace -for 5s -o trace.json   # capture an execution-trace window
+//	fleetd trace start|stop|status|fetch # or drive the window by hand
 //
 // Exit codes: 0 on success, 1 on runtime or server error, 2 on usage
 // error.
@@ -33,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +45,7 @@ import (
 	"flashwear/internal/fleetd"
 	"flashwear/internal/hostio"
 	"flashwear/internal/obs"
+	"flashwear/internal/profiling"
 )
 
 func main() {
@@ -106,6 +110,8 @@ func main() {
 		err = events(args)
 	case "watch":
 		err = watch(args)
+	case "trace":
+		err = trace(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -137,6 +143,7 @@ commands:
   wait     poll until a campaign stops running
   events   print a campaign's journal events (JSON)
   watch    stream a campaign's events live until it stops
+  trace    capture a wall-clock execution trace from the server
 
 run "fleetd <command> -h" for the command's flags.`)
 }
@@ -156,7 +163,29 @@ func serve(args []string) error {
 	grace := fs.Duration("shutdown-grace", 15*time.Second, "graceful-shutdown budget: sweeps drain at cell boundaries, then hard-pause")
 	faultPlan := fs.String("host-fault-plan", "", "inject host I/O faults, hostio.ParsePlan grammar (fault drills; e.g. \"class=checkpoint,fault=enospc,from=3,until=6\")")
 	retries := fs.Int("checkpoint-retries", 3, "checkpoint write attempts before a campaign degrades to checkpointing-paused")
+	tracePath := fs.String("trace", "", "record runtrace spans for the server's lifetime and write a Chrome trace-event file here on shutdown")
+	pprofCPU := fs.String("pprof-cpu", "", "write a CPU profile of the server's lifetime to this file")
+	pprofHeap := fs.String("pprof-heap", "", "write a heap profile to this file at shutdown")
 	fs.parse(args)
+
+	if *pprofCPU != "" {
+		stop, err := profiling.StartCPU(*pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetd:", err)
+			}
+		}()
+	}
+	if *pprofHeap != "" {
+		defer func() {
+			if err := profiling.WriteHeap(*pprofHeap); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetd:", err)
+			}
+		}()
+	}
 
 	var hfs hostio.FS = hostio.OS{}
 	if *faultPlan != "" {
@@ -183,6 +212,18 @@ func serve(args []string) error {
 		}
 	}
 	mgr.SetLogger(obs.NewLogger(os.Stderr))
+	if *tracePath != "" {
+		mgr.Trace().StartRecording()
+		defer func() {
+			mgr.Trace().StopRecording()
+			if err := writeFileWith(*tracePath, mgr.Trace().WriteChrome); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetd: -trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "fleetd: wrote execution trace to %s (%d spans)\n",
+					*tracePath, mgr.Trace().SpanCount())
+			}
+		}()
+	}
 	fmt.Fprintf(os.Stderr, "fleetd: listening on %s (data: %q)\n", *addr, *data)
 	handler := fleetd.NewServer(mgr)
 	srv := &http.Server{
@@ -464,6 +505,89 @@ func watch(args []string) error {
 		//flashvet:ignore wallclock client-side reconnect backoff against a remote server; no simulation results flow through it
 		time.Sleep(time.Second)
 	}
+}
+
+// trace drives the server's runtrace recording window (DESIGN.md §14).
+// With no positional action it captures a window: start recording, wait
+// -for, stop, fetch the Chrome trace-event file. The explicit actions
+// (start / stop / status / fetch) manage a window by hand — e.g. start
+// one before submitting a campaign and fetch it after.
+func trace(args []string) error {
+	fs := newFlagSet("trace")
+	addr := clientFlags(fs)
+	window := fs.Duration("for", 2*time.Second, "capture window length for the default start+wait+stop+fetch round-trip")
+	out := fs.String("o", "trace.json", "output path for the Chrome trace-event file (\"-\" = stdout)")
+	fs.parse(args)
+	cl := &fleetd.Client{BaseURL: *addr}
+	action := "capture"
+	if fs.NArg() > 0 {
+		action = fs.Arg(0)
+	}
+	fetch := func() error {
+		raw, err := cl.TraceChrome()
+		if err != nil {
+			return err
+		}
+		if *out == "-" {
+			_, err = os.Stdout.Write(raw)
+			return err
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fleetd: wrote %s (%d bytes); open it in chrome://tracing or https://ui.perfetto.dev\n", *out, len(raw))
+		return nil
+	}
+	switch action {
+	case "capture":
+		if _, err := cl.TraceStart(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fleetd: recording for %s...\n", *window)
+		//flashvet:ignore wallclock client-side capture window against a remote server; no simulation results flow through it
+		time.Sleep(*window)
+		if st, err := cl.TraceStop(); err != nil {
+			return err
+		} else if st.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "fleetd: warning: %d spans dropped at the buffer cap\n", st.Dropped)
+		}
+		return fetch()
+	case "start":
+		st, err := cl.TraceStart()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "stop":
+		st, err := cl.TraceStop()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "status":
+		st, err := cl.TraceStatus()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "fetch":
+		return fetch()
+	default:
+		return fmt.Errorf("trace: unknown action %q (want start, stop, status or fetch)", action)
+	}
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // campaignCmd runs a client action that takes only -addr and a campaign

@@ -57,6 +57,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in simulated days for -checkpoint (0 = only at the end)")
 	shards := flag.Int("shards", 0, "shard count for -checkpoint mode (scheduling only, never visible in results)")
 	resumeDir := flag.String("resume", "", "resume the campaign checkpointed in this directory (its spec comes from campaign.json; population flags are ignored)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the campaign's wall-clock execution (requires -checkpoint/-resume mode)")
 	flag.Parse()
 
 	var stopCPU func() error
@@ -103,10 +104,25 @@ func main() {
 			Workers:         *workers,
 			CheckpointEvery: *checkpointEvery,
 		}
-		if err := serviceRun(*checkpointDir, *resumeDir, cspec, *metricsCSV, *wearTrace); err != nil {
+		if err := serviceRun(*checkpointDir, *resumeDir, cspec, *metricsCSV, *wearTrace, *tracePath); err != nil {
 			fail(err)
 		}
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fail(err)
+			}
+			stopCPU = nil
+		}
+		if *pprofHeap != "" {
+			if err := profiling.WriteHeap(*pprofHeap); err != nil {
+				fail(err)
+			}
+		}
 		return
+	}
+	if *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "fleetsim: -trace requires -checkpoint/-resume mode (the execution tracer lives in the fleetd engine)")
+		os.Exit(2)
 	}
 	var plan *faultinject.Plan
 	if *faultPlan != "" {

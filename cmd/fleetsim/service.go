@@ -17,10 +17,12 @@ import (
 // determinism contract — byte-identical across -workers, -shards,
 // -checkpoint-every, and any number of interruptions, but not
 // digit-comparable with batch-mode output (see DESIGN.md §11).
-func serviceRun(checkpointDir, resumeDir string, spec fleetd.CampaignSpec, metricsCSV, wearTrace string) error {
+func serviceRun(checkpointDir, resumeDir string, spec fleetd.CampaignSpec, metricsCSV, wearTrace, tracePath string) error {
 	var c *fleetd.Campaign
+	var mgr *fleetd.Manager
 	if resumeDir != "" {
-		mgr, err := fleetd.NewManager(resumeDir)
+		var err error
+		mgr, err = fleetd.NewManager(resumeDir)
 		if err != nil {
 			return err
 		}
@@ -31,16 +33,23 @@ func serviceRun(checkpointDir, resumeDir string, spec fleetd.CampaignSpec, metri
 		c = campaigns[0]
 		fmt.Fprintf(os.Stderr, "fleetsim: resuming campaign %s from %s (%d/%d days done)\n",
 			c.ID(), resumeDir, c.Status().DaysDone, c.Spec().Days)
+		if tracePath != "" {
+			mgr.Trace().StartRecording()
+		}
 		if err := c.Resume(); err != nil {
 			return err
 		}
 	} else {
-		mgr, err := fleetd.NewManager(checkpointDir)
+		var err error
+		mgr, err = fleetd.NewManager(checkpointDir)
 		if err != nil {
 			return err
 		}
 		if n := len(mgr.List()); n > 0 {
 			return fmt.Errorf("-checkpoint: %s already holds a campaign; use -resume to continue it", checkpointDir)
+		}
+		if tracePath != "" {
+			mgr.Trace().StartRecording()
 		}
 		c, err = mgr.Submit(spec)
 		if err != nil {
@@ -49,6 +58,14 @@ func serviceRun(checkpointDir, resumeDir string, spec fleetd.CampaignSpec, metri
 	}
 	if err := c.Wait(); err != nil {
 		return err
+	}
+	if tracePath != "" {
+		mgr.Trace().StopRecording()
+		if err := writeTo(tracePath, mgr.Trace().WriteChrome); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fleetsim: wrote execution trace to %s (%d spans); the campaign results above are unaffected by tracing\n",
+			tracePath, mgr.Trace().SpanCount())
 	}
 	renderCampaign(os.Stdout, c)
 	if metricsCSV != "" {

@@ -16,13 +16,47 @@ import (
 	"os"
 
 	"flashwear/internal/experiments"
+	"flashwear/internal/profiling"
 	"flashwear/internal/report"
 )
 
 func main() {
 	scale := flag.Int64("scale", 256, "device capacity divisor (1 = full size, slow)")
 	csv := flag.Bool("csv", false, "emit CSV series instead of a table")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the run to this file")
+	pprofHeap := flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	var stopCPU func() error
+	if *pprofCPU != "" {
+		stop, err := profiling.StartCPU(*pprofCPU)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microbench:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	fail := func(err error) {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers; the success paths below fall through here.
+	finishProfiles := func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fail(err)
+			}
+			stopCPU = nil
+		}
+		if *pprofHeap != "" {
+			if err := profiling.WriteHeap(*pprofHeap); err != nil {
+				fail(err)
+			}
+		}
+	}
 
 	cfg := experiments.Config{
 		Scale:    *scale,
@@ -30,8 +64,7 @@ func main() {
 	}
 	points, err := experiments.Figure1(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "microbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *csv {
@@ -40,6 +73,7 @@ func main() {
 		fmt.Println()
 		fmt.Println("# Figure 1b: random write bandwidth (MiB/s)")
 		report.RenderCSV(os.Stdout, experiments.Figure1Series(points, false)...)
+		finishProfiles()
 		return
 	}
 
@@ -50,4 +84,5 @@ func main() {
 		tbl.AddRow(p.Device, report.SizeLabel(p.ReqBytes), p.SeqMiBps, p.RandMiBps)
 	}
 	tbl.Render(os.Stdout)
+	finishProfiles()
 }

@@ -21,9 +21,12 @@
 // out must say what it is instead.
 //
 // To stop sim code laundering host time through the ops plane, the
-// analyzer also bans obs.WallNow — the ops plane's only exported raw
-// clock source — outside ops-domain packages, with the same severity as
-// time.Now itself.
+// analyzer also bans the ops plane's exported raw clock readbacks —
+// obs.WallNow, and runtrace's Totals/Snapshot accessors (which return
+// measured wall-clock durations) — outside ops-domain packages, with the
+// same severity as time.Now itself. Emitting spans (runtrace.Begin/End)
+// stays legal everywhere: a span records where time went without letting
+// the caller read it back.
 package wallclock
 
 import (
@@ -52,7 +55,8 @@ var banned = map[string]bool{
 // one from a non-ops-domain package smuggles wall-clock time into
 // simulation code just as surely as time.Now does.
 var opsSources = map[string]map[string]bool{
-	"flashwear/internal/obs": {"WallNow": true},
+	"flashwear/internal/obs":      {"WallNow": true},
+	"flashwear/internal/runtrace": {"Totals": true, "Snapshot": true},
 }
 
 var Analyzer = &analysis.Analyzer{

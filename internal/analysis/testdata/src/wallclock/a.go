@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flashwear/internal/obs"
+	"flashwear/internal/runtrace"
 )
 
 func sim() time.Duration {
@@ -37,4 +38,14 @@ func laundered() time.Time {
 	// package without a //flashvet:ops-domain declaration is the same
 	// offence as time.Now.
 	return obs.WallNow() // want `ops-plane clock source obs\.WallNow`
+}
+
+func spans(tr *runtrace.Tracer) {
+	// ok: emitting spans is legal in sim code — Begin/End measure where
+	// time went without letting the caller read the clock back.
+	sp := tr.Begin(runtrace.PhaseSimulate, 0, 1, 2)
+	sp.End()
+	// Reading the measured wall time back is laundering, same as WallNow.
+	_ = tr.Totals()   // want `ops-plane clock source runtrace\.Totals`
+	_ = tr.Snapshot() // want `ops-plane clock source runtrace\.Snapshot`
 }

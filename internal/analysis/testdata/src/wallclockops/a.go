@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flashwear/internal/obs"
+	"flashwear/internal/runtrace"
 )
 
 //flashvet:ops-domain this fixture package measures the real process, nothing flows back into simulation results
@@ -15,5 +16,8 @@ func measure() time.Duration {
 	start := time.Now() // ok: ops-domain package
 	time.Sleep(0)       // ok
 	_ = obs.WallNow()   // ok: ops-domain packages may use the ops clock source
+	tr := runtrace.New(0, nil)
+	_ = tr.Totals()   // ok: ops-domain packages may read measured wall time back
+	_ = tr.Snapshot() // ok
 	return time.Since(start)
 }

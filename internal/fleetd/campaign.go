@@ -17,6 +17,7 @@ import (
 	"flashwear/internal/fleet"
 	"flashwear/internal/hostio"
 	"flashwear/internal/obs"
+	"flashwear/internal/runtrace"
 	"flashwear/internal/wtrace"
 )
 
@@ -45,6 +46,7 @@ type Manager struct {
 	fs        hostio.FS
 	ckptRetry obs.Backoff
 	metrics   *Metrics
+	trace     *runtrace.Tracer
 
 	mu        sync.Mutex
 	logger    *obs.Logger
@@ -101,6 +103,10 @@ func NewManagerOpts(opts Options) (*Manager, error) {
 		retry.Attempts = 3
 	}
 	m := &Manager{dataDir: opts.DataDir, fs: fsys, ckptRetry: retry, metrics: NewMetrics(), nextID: 1}
+	// The tracer is always on for phase totals (its observer feeds the
+	// fleetd_phase_seconds histograms); span recording is opt-in via
+	// /v1/trace/start or the -trace flag.
+	m.trace = runtrace.New(0, m.metrics.ObservePhase)
 	if m.dataDir == "" {
 		return m, nil
 	}
@@ -190,6 +196,11 @@ func sweepTmpFiles(fsys hostio.FS, campaignDir string) (int, error) {
 
 // Metrics exposes the manager's ops-domain registry and instruments.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Trace exposes the manager's execution tracer (DESIGN.md §14): always
+// accumulating per-phase totals, recording spans only while a window is
+// open.
+func (m *Manager) Trace() *runtrace.Tracer { return m.trace }
 
 // Logger returns the installed structured logger (nil means silent).
 func (m *Manager) Logger() *obs.Logger {
@@ -534,6 +545,11 @@ func (c *Campaign) start() {
 // plane are real durability failures (the journal shares the campaign's
 // data directory), so callers in the sweep path propagate them.
 func (c *Campaign) appendEvent(e obs.Event) (obs.Event, error) {
+	// Journal appends fsync; bill them to the journal phase. The journal
+	// is campaign-level work, so the span renders on the campaign track
+	// regardless of which cell produced the event.
+	sp := c.mgr.trace.Begin(runtrace.PhaseJournal, -1, e.Epoch, -1)
+	defer sp.End()
 	return c.journal.Append(e)
 }
 
@@ -883,6 +899,8 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 			return nil, nil, err
 		}
 		w.metrics = c.mgr.metrics
+		w.trace = c.mgr.trace
+		w.shard, w.epoch = shard, epoch
 	}
 
 	type job struct {
@@ -937,9 +955,13 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 	var errMu sync.Mutex
 	var workErr error
 	var captured []*deviceState
+	tr := c.mgr.trace
+	shardLabel := strconv.Itoa(shard)
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func() {
+		// Workers run under pprof labels so CPU profiles segment by the
+		// same dimensions as the runtrace spans (DESIGN.md §14).
+		go runtrace.Do(ctx, func(ctx context.Context) {
 			defer wg.Done()
 			for jb := range jobs {
 				if ctx.Err() != nil {
@@ -951,9 +973,15 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 				if failed {
 					continue
 				}
+				sp := tr.Begin(runtrace.PhaseSimulate, shard, epoch, jb.idx)
 				st, err := runDeviceEpoch(spec, spec.Sample(jb.idx), jb.st, acc)
+				sp.End()
 				if err == nil && st != nil && w != nil {
-					err = w.writeDevice(st)
+					runtrace.Do(ctx, func(context.Context) {
+						sp := tr.Begin(runtrace.PhaseCheckpointEncode, shard, epoch, jb.idx)
+						err = w.writeDevice(st)
+						sp.End()
+					}, "phase", runtrace.PhaseCheckpointEncode.String())
 				}
 				if err == nil && st != nil && capture {
 					errMu.Lock()
@@ -968,7 +996,7 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 					errMu.Unlock()
 				}
 			}
-		}()
+		}, "shard", shardLabel, "phase", runtrace.PhaseSimulate.String())
 	}
 	wg.Wait()
 
@@ -1010,6 +1038,11 @@ func (c *Campaign) runShardEpoch(ctx context.Context, shard, epoch int, prevFt *
 // replaced. Shards merge in index order, but every merge is commutative
 // anyway — the committed values are a pure function of the cell set.
 func (c *Campaign) commitEpoch(footers []*epochFooter, final bool) error {
+	epoch := 0
+	if len(footers) > 0 {
+		epoch = footers[0].Epoch
+	}
+	aggSp := c.mgr.trace.Begin(runtrace.PhaseAggregate, -1, epoch, -1)
 	es := &DaySeries{}
 	agg := newAggregate()
 	var ledger wtrace.Snapshot
@@ -1060,7 +1093,11 @@ func (c *Campaign) commitEpoch(footers []*epochFooter, final bool) error {
 	dd := int64(len(es.Rows)) * devices
 	c.mgr.metrics.DeviceDays.Add(dd)
 	c.mgr.metrics.DeviceRate.Add(dd)
-	for _, a := range c.alerts.scan(rows, devices) {
+	aggSp.End()
+	alertSp := c.mgr.trace.Begin(runtrace.PhaseAlertEval, -1, epoch, -1)
+	alerts := c.alerts.scan(rows, devices)
+	alertSp.End()
+	for _, a := range alerts {
 		if _, err := c.appendEvent(a.event()); err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"flashwear/internal/hostio"
+	"flashwear/internal/runtrace"
 )
 
 // Checkpoint directory layout, under the manager's data directory:
@@ -67,6 +68,11 @@ type ckptWriter struct {
 	err     error
 	bytes   int64    // frames + magic written so far
 	metrics *Metrics // optional ops accounting; nil for bare writers
+
+	// Optional execution tracing (nil-safe): the fsync in finish bills
+	// to the checkpoint_fsync phase of this cell.
+	trace        *runtrace.Tracer
+	shard, epoch int
 }
 
 func newCkptWriter(fsys hostio.FS, path string, hdr fileHeader) (*ckptWriter, error) {
@@ -155,6 +161,7 @@ func (w *ckptWriter) finish(ft *epochFooter) error {
 	}
 	if w.err == nil {
 		var err error
+		sp := w.trace.Begin(runtrace.PhaseCheckpointFsync, w.shard, w.epoch, -1)
 		if w.metrics != nil {
 			stop := w.metrics.FsyncSeconds.Time()
 			err = w.f.Sync()
@@ -162,6 +169,7 @@ func (w *ckptWriter) finish(ft *epochFooter) error {
 		} else {
 			err = w.f.Sync()
 		}
+		sp.End()
 		w.err = ckptIOErr(err)
 	}
 	if err := w.f.Close(); w.err == nil {

@@ -243,6 +243,32 @@ func (c *Client) Fork(id string, opts ForkOptions) (Status, error) {
 	return st, err
 }
 
+// TraceStart opens a runtrace recording window on the server.
+func (c *Client) TraceStart() (TraceStatus, error) {
+	var st TraceStatus
+	err := c.postJSON("/v1/trace/start", nil, &st)
+	return st, err
+}
+
+// TraceStop closes the recording window; buffered spans stay fetchable.
+func (c *Client) TraceStop() (TraceStatus, error) {
+	var st TraceStatus
+	err := c.postJSON("/v1/trace/stop", nil, &st)
+	return st, err
+}
+
+// TraceStatus reports recording state and per-phase wall totals.
+func (c *Client) TraceStatus() (TraceStatus, error) {
+	var st TraceStatus
+	err := c.getJSON("/v1/trace/status", &st)
+	return st, err
+}
+
+// TraceChrome fetches the recorded window as Chrome trace-event JSON.
+func (c *Client) TraceChrome() ([]byte, error) {
+	return c.do(http.MethodGet, "/v1/trace", nil)
+}
+
 // Events returns the campaign's journal events with Seq > since.
 func (c *Client) Events(id string, since uint64) ([]obs.Event, error) {
 	var out []obs.Event

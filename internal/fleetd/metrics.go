@@ -1,6 +1,9 @@
 package fleetd
 
-import "flashwear/internal/obs"
+import (
+	"flashwear/internal/obs"
+	"flashwear/internal/runtrace"
+)
 
 // Metrics is fleetd's ops-domain instrument panel. Everything here
 // measures the serving process — throughput, I/O cost, request traffic —
@@ -32,12 +35,27 @@ type Metrics struct {
 	Forks   *obs.Counter
 
 	HTTP *obs.HTTPMetrics
+
+	// Execution phase split (DESIGN.md §14): wall time per runtrace
+	// phase, fed by the tracer's observer on every span end. phase[] is
+	// the pre-resolved child per phase so the span hot path skips the
+	// vec's map lookup.
+	PhaseSeconds *obs.HistogramVec
+	phase        [runtrace.NumPhases]*obs.Histogram
+}
+
+// ObservePhase is the runtrace observer: it routes a finished span's
+// duration to the fleetd_phase_seconds child for its phase.
+func (m *Metrics) ObservePhase(p runtrace.Phase, seconds float64) {
+	if p < runtrace.NumPhases {
+		m.phase[p].Observe(seconds)
+	}
 }
 
 // NewMetrics builds the fleetd metric set on a fresh registry.
 func NewMetrics() *Metrics {
 	r := obs.NewRegistry()
-	return &Metrics{
+	m := &Metrics{
 		Registry: r,
 		CellsComputed: r.Counter("fleetd_cells_computed_total",
 			"Checkpoint cells (shard x epoch) simulated by this process."),
@@ -65,5 +83,15 @@ func NewMetrics() *Metrics {
 		Forks: r.Counter("fleetd_campaign_forks_total",
 			"Campaigns created by forking."),
 		HTTP: obs.NewHTTPMetrics(r, "fleetd"),
+		PhaseSeconds: r.HistogramVec("fleetd_phase_seconds",
+			"Wall time per campaign execution phase (simulate, checkpoint_encode, checkpoint_fsync, journal, aggregate, alert_eval).",
+			obs.DurationBuckets, "phase"),
 	}
+	// Materialize every phase child up front so the families render on
+	// the first scrape (not only after a span of that phase has ended).
+	for p := runtrace.Phase(0); p < runtrace.NumPhases; p++ {
+		m.phase[p] = m.PhaseSeconds.With(p.String())
+	}
+	runtrace.RegisterRuntimeGauges(r, "fleetd")
+	return m
 }

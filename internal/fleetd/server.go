@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	"flashwear/internal/obs"
+	"flashwear/internal/runtrace"
 )
 
 // Server exposes a Manager over HTTP/JSON — the control and query plane
@@ -27,6 +29,11 @@ import (
 //	POST /v1/campaigns/{id}/resume
 //	POST /v1/campaigns/{id}/fork  body ForkOptions, returns the fork's Status
 //	GET  /metrics                 ops-domain metrics (Prometheus text format)
+//	POST /v1/trace/start          open a runtrace recording window
+//	POST /v1/trace/stop           close it (spans stay fetchable)
+//	GET  /v1/trace                fetch the window as Chrome trace-event JSON
+//	GET  /v1/trace/status         recording state + per-phase wall totals
+//	GET  /debug/pprof/...         net/http/pprof (profile/heap/trace/...)
 //
 // Every query serves committed state under the campaign mutex, so
 // polling mid-run never observes a half-merged epoch. Every route runs
@@ -63,7 +70,81 @@ func NewServer(mgr *Manager) *Server {
 	handle("POST /v1/campaigns/{id}/resume", s.idempotent(s.resume))
 	handle("POST /v1/campaigns/{id}/fork", s.idempotent(s.fork))
 	handle("GET /metrics", mgr.metrics.Registry.ServeHTTP)
+	// Execution tracing (DESIGN.md §14). Start/stop are naturally
+	// idempotent — re-starting restarts the window — so they skip the
+	// Idempotency-Key machinery.
+	handle("POST /v1/trace/start", s.traceStart)
+	handle("POST /v1/trace/stop", s.traceStop)
+	handle("GET /v1/trace", s.traceFetch)
+	handle("GET /v1/trace/status", s.traceStatus)
+	// net/http/pprof on the ops plane. CPU profile and execution trace
+	// block for ?seconds=N, so they clear the server WriteTimeout the
+	// same way the SSE watch does.
+	handle("GET /debug/pprof/", noWriteTimeout(httppprof.Index))
+	handle("GET /debug/pprof/cmdline", httppprof.Cmdline)
+	handle("GET /debug/pprof/profile", noWriteTimeout(httppprof.Profile))
+	handle("GET /debug/pprof/symbol", httppprof.Symbol)
+	handle("POST /debug/pprof/symbol", httppprof.Symbol)
+	handle("GET /debug/pprof/trace", noWriteTimeout(httppprof.Trace))
 	return s
+}
+
+// noWriteTimeout clears the server's write deadline for one response —
+// for handlers that legitimately stream or block (pprof's ?seconds=N
+// profile windows), exactly like the SSE watch route.
+func noWriteTimeout(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		http.NewResponseController(w).SetWriteDeadline(time.Time{})
+		h(w, r)
+	}
+}
+
+// TraceStatus is the GET /v1/trace/status (and trace stop) response.
+type TraceStatus struct {
+	Recording bool         `json:"recording"`
+	Spans     int          `json:"spans"`
+	Dropped   int64        `json:"dropped"`
+	Phases    []PhaseTotal `json:"phases"`
+}
+
+// PhaseTotal is one phase's since-process-start wall-time sum.
+type PhaseTotal struct {
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// traceStatusNow snapshots the tracer for status/stop responses.
+func (s *Server) traceStatusNow() TraceStatus {
+	tr := s.mgr.trace
+	st := TraceStatus{Recording: tr.Recording(), Spans: tr.SpanCount(), Dropped: tr.Dropped()}
+	//flashvet:ignore wallclock ops status endpoint: per-phase wall totals go to the operator, never into campaign results
+	totals := tr.Totals()
+	for p := runtrace.Phase(0); p < runtrace.NumPhases; p++ {
+		st.Phases = append(st.Phases, PhaseTotal{
+			Phase: p.String(), Count: totals[p].Count, Seconds: totals[p].Seconds(),
+		})
+	}
+	return st
+}
+
+func (s *Server) traceStart(w http.ResponseWriter, r *http.Request) {
+	s.mgr.trace.StartRecording()
+	writeJSON(w, http.StatusOK, s.traceStatusNow())
+}
+
+func (s *Server) traceStop(w http.ResponseWriter, r *http.Request) {
+	s.mgr.trace.StopRecording()
+	writeJSON(w, http.StatusOK, s.traceStatusNow())
+}
+
+func (s *Server) traceStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traceStatusNow())
+}
+
+func (s *Server) traceFetch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.mgr.trace.WriteChrome(w)
 }
 
 // Shutdown releases long-lived SSE watch streams so http.Server.Shutdown
@@ -202,7 +283,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	evs := c.Events(since)
 	if r.URL.Query().Get("format") == "jsonl" {
-		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
 		for _, e := range evs {
 			enc.Encode(e)

@@ -337,10 +337,14 @@ func TestServerMetricsAndEvents(t *testing.T) {
 		t.Errorf("status last_seq = %d, want %d", got.LastSeq, evs[len(evs)-1].Seq)
 	}
 
-	// jsonl format: one JSON object per line.
+	// jsonl format: one JSON object per line, served with the standard
+	// newline-delimited-JSON content type.
 	resp, err = http.Get(srv.URL + "/v1/campaigns/" + st.ID + "/events?format=jsonl")
 	if err != nil {
 		t.Fatalf("GET events jsonl: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("jsonl Content-Type = %q, want application/x-ndjson", ct)
 	}
 	raw, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()

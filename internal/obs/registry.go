@@ -162,6 +162,32 @@ func (g *Gauge) write(w *bufio.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
 }
 
+// GaugeFunc is a gauge whose value is produced by a callback at render
+// time — for cheap point-in-time reads of process state (heap bytes,
+// goroutine counts) that would be wasteful to push on a timer.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// GaugeFunc registers a callback-backed gauge family. fn is called on
+// every render (and by Value); it must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) metricName() string { return g.name }
+
+func (g *GaugeFunc) write(w *bufio.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
 // Histogram is a fixed-bucket cumulative histogram (Prometheus
 // semantics: each bucket counts observations <= its bound, plus +Inf).
 type Histogram struct {
@@ -222,6 +248,13 @@ func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the sum of all observed values (the _sum row).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 func (h *Histogram) metricName() string { return h.name }

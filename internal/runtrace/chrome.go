@@ -1,0 +1,101 @@
+package runtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace layout: each shard is a process (plus one "campaign"
+// process for shard -1 work), each phase a named thread inside it, so
+// the viewer's per-process timelines line up with the worker pool and
+// the thread names with the phase split in /metrics.
+const (
+	pidCampaign = 1
+	pidShard0   = 2 // shard n renders as pid n+pidShard0
+)
+
+// WriteChrome renders the buffered spans of the current (or last)
+// recording window as a Chrome trace-event JSON object — load it in
+// chrome://tracing, https://ui.perfetto.dev or speedscope. ts/dur are
+// wall-clock microseconds relative to the window start. The writer
+// emits by hand like wtrace's (span volume makes reflective encoding
+// the dominant cost), but the output is plain standard JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	// Collect the shard set for process metadata (collect/sort/iterate).
+	shardSet := map[int32]bool{}
+	for _, s := range spans {
+		shardSet[s.Shard] = true
+	}
+	shards := make([]int32, 0, len(shardSet))
+	for s := range shardSet {
+		shards = append(shards, s)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+
+	pid := func(shard int32) int {
+		if shard < 0 {
+			return pidCampaign
+		}
+		return int(shard) + pidShard0
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	meta := func(pid int, name, value string, tid int) {
+		comma()
+		fmt.Fprintf(bw, `{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			name, pid, tid, value)
+	}
+	for _, s := range shards {
+		procName := "campaign"
+		if s >= 0 {
+			procName = "shard " + strconv.Itoa(int(s))
+		}
+		meta(pid(s), "process_name", procName, 0)
+		for p := Phase(0); p < NumPhases; p++ {
+			meta(pid(s), "thread_name", p.String(), int(p)+1)
+		}
+	}
+	for _, s := range spans {
+		comma()
+		bw.WriteString(`{"name":`)
+		bw.WriteString(strconv.Quote(s.Phase.String()))
+		bw.WriteString(`,"ph":"X","pid":`)
+		bw.WriteString(strconv.Itoa(pid(s.Shard)))
+		bw.WriteString(`,"tid":`)
+		bw.WriteString(strconv.Itoa(int(s.Phase) + 1))
+		bw.WriteString(`,"ts":`)
+		bw.WriteString(strconv.FormatInt(s.Start.Microseconds(), 10))
+		bw.WriteString(`,"dur":`)
+		bw.WriteString(strconv.FormatInt(s.Dur.Microseconds(), 10))
+		bw.WriteString(`,"args":{"epoch":`)
+		bw.WriteString(strconv.Itoa(int(s.Epoch)))
+		if s.Device >= 0 {
+			bw.WriteString(`,"device":`)
+			bw.WriteString(strconv.Itoa(int(s.Device)))
+		}
+		bw.WriteString(`}}`)
+	}
+	if dropped > 0 {
+		comma()
+		fmt.Fprintf(bw, `{"name":"spans dropped: %d","ph":"i","s":"g","pid":%d,"tid":0,"ts":0,"args":{}}`,
+			dropped, pidCampaign)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package runtrace
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"flashwear/internal/obs"
+)
+
+// memSampler caches runtime.ReadMemStats across the gauges that share
+// it: a /metrics scrape renders several heap/GC families back to back,
+// and ReadMemStats stops the world, so one read per scrape is plenty.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	once bool
+}
+
+const memSampleMaxAge = time.Second
+
+func (s *memSampler) read(f func(*runtime.MemStats) float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.once || time.Since(s.at) > memSampleMaxAge {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+		s.once = true
+	}
+	return f(&s.ms)
+}
+
+// RegisterRuntimeGauges registers <prefix>_runtime_* gauge families that
+// read Go runtime state at scrape time: heap in use and reserved,
+// live goroutines, cumulative GC pause seconds and GC cycle count.
+func RegisterRuntimeGauges(r *obs.Registry, prefix string) {
+	s := &memSampler{}
+	r.GaugeFunc(prefix+"_runtime_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }) })
+	r.GaugeFunc(prefix+"_runtime_heap_sys_bytes",
+		"Heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapSys) }) })
+	r.GaugeFunc(prefix+"_runtime_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time, seconds.",
+		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }) })
+	r.GaugeFunc(prefix+"_runtime_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }) })
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — the benchmark-trajectory harness (DESIGN.md §14).
+# Produces BENCH_fleetd.json, a machine-readable snapshot of where fleetd
+# spends its time and how fast it simulates:
+#
+#   - devices/s from BenchmarkFleetScaling at each worker width,
+#   - the runtrace recording overhead (campaign wall time with span
+#     recording off vs on),
+#   - the per-phase wall-time split of a real campaign served by a live
+#     fleetd process, scraped from /metrics and cross-checked against a
+#     fetched Chrome trace (kept as sample-trace.json).
+#
+# Raw artifacts land in $BENCH_OUT (default benchsnap-out/, gitignored);
+# the JSON summary is also copied to ./BENCH_fleetd.json, which is
+# committed so the repo carries a reviewable trajectory of the numbers.
+# Timings are machine-dependent: refresh the committed file deliberately,
+# not on every run. BENCHTIME tunes go test -benchtime (default 2x: a
+# smoke-grade sample, not a publication-grade timing).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCH_OUT=${BENCH_OUT:-benchsnap-out}
+BENCHTIME=${BENCHTIME:-2x}
+rm -rf "$BENCH_OUT" && mkdir -p "$BENCH_OUT"
+
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "bench_snapshot: fleet scaling benchmark (-benchtime $BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkFleetScaling' -benchtime "$BENCHTIME" . \
+    >"$BENCH_OUT/fleetscaling.txt"
+
+echo "bench_snapshot: runtrace overhead benchmark (-benchtime $BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkRuntraceOverhead' -benchtime "$BENCHTIME" \
+    ./internal/fleetd/ >"$BENCH_OUT/overhead.txt"
+
+echo "bench_snapshot: live campaign phase split"
+go build -o "$BENCH_OUT/fleetd" ./cmd/fleetd
+ADDR="127.0.0.1:${BENCH_PORT:-17091}"
+BASE="http://$ADDR"
+"$BENCH_OUT/fleetd" serve -addr "$ADDR" -data "$BENCH_OUT/data" \
+    2>"$BENCH_OUT/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    curl -sf "$BASE/v1/campaigns" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$BASE/v1/campaigns" >/dev/null \
+    || { echo "bench_snapshot: server did not come up on $ADDR" >&2; exit 1; }
+
+"$BENCH_OUT/fleetd" trace -addr "$BASE" start >/dev/null
+ID=$("$BENCH_OUT/fleetd" submit -addr "$BASE" -name benchsnap \
+    -devices 24 -days 12 -seed 42 -scale 65536 -wear-trace \
+    -shards 2 -checkpoint-every 3 | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+"$BENCH_OUT/fleetd" wait -addr "$BASE" -every 500ms "$ID" >/dev/null
+"$BENCH_OUT/fleetd" trace -addr "$BASE" stop >/dev/null
+"$BENCH_OUT/fleetd" trace -addr "$BASE" -o "$BENCH_OUT/sample-trace.json" fetch 2>/dev/null
+curl -sf "$BASE/metrics" >"$BENCH_OUT/metrics.txt"
+kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
+
+grep -q '"traceEvents"' "$BENCH_OUT/sample-trace.json" \
+    || { echo "bench_snapshot: sample trace is not a Chrome trace-event file" >&2; exit 1; }
+SPANS=$({ grep -o '"ph":"X"' "$BENCH_OUT/sample-trace.json" || true; } | wc -l | tr -d ' ')
+[ "$SPANS" -gt 0 ] || { echo "bench_snapshot: sample trace recorded no spans" >&2; exit 1; }
+
+echo "bench_snapshot: assembling BENCH_fleetd.json"
+{
+    printf '{\n'
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+
+    # BenchmarkFleetScaling/workers=N-P <iters> <ns> ns/op ... <v> devices/s
+    printf '  "fleet_devices_per_sec": {\n'
+    # On few-core hosts GOMAXPROCS(0) collides with a fixed width and go
+    # test dedupes the name with #NN; keep the first sample per width.
+    awk '/^BenchmarkFleetScaling\/workers=/ {
+        split($1, parts, "=");  sub(/-[0-9]+$/, "", parts[2]);  sub(/#.*$/, "", parts[2])
+        if (parts[2] in seen) next;  seen[parts[2]] = 1
+        for (i = 2; i <= NF; i++) if ($i == "devices/s") v = $(i-1)
+        rows[++n] = sprintf("    \"workers=%s\": %s", parts[2], v)
+    } END { for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") }' \
+        "$BENCH_OUT/fleetscaling.txt"
+    printf '  },\n'
+
+    # BenchmarkRuntraceOverhead/recording-{off,on}-P <iters> <ns> ns/op
+    awk '/^BenchmarkRuntraceOverhead\/recording-off/ { off = $3 }
+         /^BenchmarkRuntraceOverhead\/recording-on/  { on  = $3 }
+         END {
+            if (off == 0) { print "bench_snapshot: overhead benchmark produced no numbers" > "/dev/stderr"; exit 1 }
+            printf "  \"runtrace_overhead\": {\n"
+            printf "    \"recording_off_ns_op\": %s,\n", off
+            printf "    \"recording_on_ns_op\": %s,\n", on
+            printf "    \"overhead_pct\": %.2f\n", 100 * (on - off) / off
+            printf "  },\n"
+         }' "$BENCH_OUT/overhead.txt"
+
+    # fleetd_phase_seconds_sum{phase="x"} <seconds> from the live scrape.
+    printf '  "phase_seconds": {\n'
+    awk -F'[""]' '/^fleetd_phase_seconds_sum\{phase=/ {
+        split($0, f, " "); phases[++n] = $2; secs[n] = f[2]; total += f[2]
+    } END {
+        for (i = 1; i <= n; i++)
+            printf "    \"%s\": {\"seconds\": %s, \"fraction\": %.4f}%s\n",
+                phases[i], secs[i], (total > 0 ? secs[i] / total : 0), (i < n ? "," : "")
+    }' "$BENCH_OUT/metrics.txt"
+    printf '  },\n'
+
+    printf '  "sample_trace_spans": %s\n' "$SPANS"
+    printf '}\n'
+} >"$BENCH_OUT/BENCH_fleetd.json"
+
+cp "$BENCH_OUT/BENCH_fleetd.json" BENCH_fleetd.json
+echo "bench_snapshot: OK — wrote BENCH_fleetd.json (and $BENCH_OUT/sample-trace.json, $SPANS spans)"

@@ -70,8 +70,12 @@ check_no_tmp() { # $1 = data dir: adoption must have swept checkpoint temporarie
     [ -z "$STRAYS" ] || { echo "fleetd_smoke: stray checkpoint temporaries after restart:" >&2; echo "$STRAYS" >&2; exit 1; }
 }
 
-echo "fleetd_smoke: reference run (uninterrupted)"
+echo "fleetd_smoke: reference run (uninterrupted, runtrace recording on)"
 start_server "$OUT/data-ref"
+# Record execution spans for the whole reference run. The crash and fault
+# runs below record nothing — the byte-identical comparisons at the end
+# double as the tracing-is-invisible check (DESIGN.md §14).
+"$OUT/fleetd" trace -addr "$BASE" start >/dev/null
 REF_ID=$(curl -sf -X POST -d "$SPEC" "$BASE/v1/campaigns" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
 "$OUT/fleetd" wait -addr "$BASE" -every 500ms "$REF_ID" >/dev/null
 fetch_artifacts "$REF_ID" ref
@@ -80,6 +84,21 @@ curl -sf "$BASE/metrics" >"$OUT/metrics.txt"
 [ -s "$OUT/metrics.txt" ] || { echo "fleetd_smoke: /metrics is empty" >&2; exit 1; }
 grep -q '^fleetd_cells_computed_total ' "$OUT/metrics.txt" \
     || { echo "fleetd_smoke: /metrics missing fleetd_cells_computed_total" >&2; exit 1; }
+grep -q '^# TYPE fleetd_phase_seconds histogram$' "$OUT/metrics.txt" \
+    || { echo "fleetd_smoke: /metrics missing the fleetd_phase_seconds histogram" >&2; exit 1; }
+grep -q '^fleetd_runtime_goroutines ' "$OUT/metrics.txt" \
+    || { echo "fleetd_smoke: /metrics missing fleetd_runtime_goroutines" >&2; exit 1; }
+# Trace round-trip: stop the window, fetch the Chrome trace-event file,
+# and require real simulate spans in it.
+"$OUT/fleetd" trace -addr "$BASE" stop >/dev/null
+"$OUT/fleetd" trace -addr "$BASE" -o "$OUT/trace.json" fetch 2>/dev/null
+grep -q '"traceEvents"' "$OUT/trace.json" \
+    || { echo "fleetd_smoke: fetched trace is not a Chrome trace-event file" >&2; exit 1; }
+grep -q '"simulate"' "$OUT/trace.json" \
+    || { echo "fleetd_smoke: fetched trace has no simulate spans" >&2; exit 1; }
+# The Go profiling endpoints ride the same ops plane.
+curl -sf "$BASE/debug/pprof/" >/dev/null \
+    || { echo "fleetd_smoke: /debug/pprof/ not serving" >&2; exit 1; }
 kill -9 "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true; SERVER_PID=""
 
 echo "fleetd_smoke: interrupted run (kill -9 mid-campaign)"
