@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchsnap faults torture wtrace fleetd-smoke fleetd-bigsmoke check
+.PHONY: all build vet lint test fuzz race bench benchsnap faults torture wtrace fleetd-smoke fleetd-bigsmoke check
 
 all: build
 
@@ -10,18 +10,38 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The project's own analyzers (DESIGN.md §10): wall-clock time, global
-# math/rand, unsorted map emission, float accumulation in merge paths, and
-# discarded NAND/FTL errors. Builds cmd/flashvet and runs all five over the
-# whole module; exits non-zero on any finding or unused ignore directive.
-# The same binary also works as `go vet -vettool=$$(pwd)/bin/flashvet ./...`.
+# The project's own analyzers (DESIGN.md §10, §15): the five syntactic
+# invariants (wall-clock time, global math/rand, unsorted map emission,
+# float accumulation in merge paths, discarded NAND/FTL errors), the
+# cross-package simtaint data-flow analysis, and the fleetd lock-
+# discipline check. Builds cmd/flashvet and runs the suite over the whole
+# module; exits non-zero on any finding or unused ignore directive. The
+# waiver audit then re-lists every ignore directive and ops-domain opt-out
+# and diffs it against the committed baseline, so a new waiver is a
+# reviewed diff of lint_waivers.txt, never a silent addition. The same
+# binary also works as `go vet -vettool=$$(pwd)/bin/flashvet ./...`.
 lint:
 	@mkdir -p bin
 	$(GO) build -o bin/flashvet ./cmd/flashvet
 	./bin/flashvet ./...
+	./bin/flashvet -waivers ./... >bin/lint_waivers.txt
+	diff -u lint_waivers.txt bin/lint_waivers.txt
 
 test:
 	$(GO) test ./...
+
+# Native fuzz smoke (DESIGN.md §15): the two fault-plan grammars and the
+# checkpoint cell decoder, each seeded from its committed corpus
+# (testdata/fuzz/) and run briefly under coverage guidance. The pinned
+# properties live in the Fuzz* doc comments: parsers never panic, accept
+# only what Validate accepts, and are deterministic; the cell decoder
+# never panics, never trusts a lying length field, and maps every failure
+# to the three-way checkpoint error policy. -run=NONE skips the unit
+# tests, so this stacks on `test` without re-running them.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/faultinject/
+	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/hostio/
+	$(GO) test -run=NONE -fuzz=FuzzCellDecode -fuzztime=15s ./internal/fleetd/
 
 # A short -race pass over the concurrent subsystems: the fleet
 # determinism tests run the same 64-device population at 4 workers and at
@@ -113,4 +133,4 @@ fleetd-bigsmoke:
 		-metrics-csv fleetd-big-out/series.csv
 
 # The verification entrypoint: everything CI (or a reviewer) should run.
-check: vet lint build test race faults torture wtrace fleetd-smoke
+check: vet lint build test fuzz race faults torture wtrace fleetd-smoke

@@ -22,10 +22,10 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant check. Unlike x/tools analyzers it
-// has no fact or result plumbing: every flashwear analyzer is a pure
-// per-package syntax+types pass, which keeps the driver trivial and the
-// vet-tool mode stateless.
+// An Analyzer describes one invariant check. Most flashwear analyzers are
+// pure per-package syntax+types passes; analyzers that need to see across
+// package boundaries (simtaint) declare FactTypes and exchange per-object
+// summaries through the Pass's fact API instead of re-analyzing callees.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //flashvet:ignore directives. Lower-case, no spaces.
@@ -33,9 +33,18 @@ type Analyzer struct {
 	// Doc is a one-paragraph description: first line is a summary, the
 	// rest states the invariant the analyzer guards.
 	Doc string
+	// FactTypes lists prototype values of every Fact type the analyzer
+	// exports or imports. An analyzer with no FactTypes neither reads
+	// nor writes facts, and the driver may skip fact plumbing for it
+	// entirely (in particular, it is never run over facts-only
+	// dependency packages).
+	FactTypes []Fact
 	// Run reports diagnostics for one package via pass.Reportf.
 	Run func(*Pass) error
 }
+
+// UsesFacts reports whether the analyzer participates in fact exchange.
+func (a *Analyzer) UsesFacts() bool { return len(a.FactTypes) > 0 }
 
 // A Pass provides one analyzer with one type-checked package.
 type Pass struct {
@@ -44,7 +53,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// FactsOnly marks a dependency package visited solely to compute
+	// facts for downstream packages under analysis: diagnostics are
+	// discarded, so analyzers may skip their reporting work.
+	FactsOnly bool
 
+	facts  *FactStore
 	report func(Diagnostic)
 }
 

@@ -16,17 +16,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"flashwear/internal/analysis"
 	"flashwear/internal/analysis/passes/floataccum"
 	"flashwear/internal/analysis/passes/globalrand"
+	"flashwear/internal/analysis/passes/locksafe"
 	"flashwear/internal/analysis/passes/maporder"
 	"flashwear/internal/analysis/passes/opserrcheck"
+	"flashwear/internal/analysis/passes/simtaint"
 	"flashwear/internal/analysis/passes/wallclock"
 )
 
-// All returns the full suite, the five invariants DESIGN.md §10 documents.
+// All returns the full suite: the five syntactic invariants DESIGN.md
+// §10 documents, the cross-package taint analysis that backs them with
+// data flow (§15), and the fleetd lock-discipline check.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		wallclock.Analyzer,
@@ -34,6 +39,8 @@ func All() []*analysis.Analyzer {
 		maporder.Analyzer,
 		floataccum.Analyzer,
 		opserrcheck.Analyzer,
+		simtaint.Analyzer,
+		locksafe.Analyzer,
 	}
 }
 
@@ -52,6 +59,7 @@ func Main(args []string) int {
 	}
 	version := fs.String("V", "", "print version and exit (-V=full, for the go command)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+	waivers := fs.Bool("waivers", false, "audit mode: list every ignore directive and ops-domain declaration, sorted, and exit")
 	enabled := make(map[string]*bool, len(suite))
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, false, strings.SplitN(a.Doc, "\n", 2)[0])
@@ -116,6 +124,9 @@ func Main(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *waivers {
+		return auditWaivers(patterns)
+	}
 	pkgs, fset, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -132,6 +143,33 @@ func Main(args []string) int {
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "flashvet: %d finding(s)\n", len(findings))
 		return 2
+	}
+	return 0
+}
+
+// auditWaivers implements -waivers: a stable, diffable listing of every
+// place the suite is told to look away — one line per //flashvet:ignore
+// and //flashvet:ops-domain, with file:line and the mandatory reason.
+// CI diffs this output against the committed lint_waivers.txt baseline,
+// so adding a waiver means changing a reviewed file, not just typing a
+// comment. Paths print relative to the working directory so the
+// baseline is position-independent.
+func auditWaivers(patterns []string) int {
+	pkgs, fset, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, w := range analysis.Waivers(fset, pkgs) {
+		if rel, err := filepath.Rel(cwd, w.File); err == nil && !strings.HasPrefix(rel, "..") {
+			w.File = filepath.ToSlash(rel)
+		}
+		fmt.Println(w)
 	}
 	return 0
 }

@@ -25,6 +25,13 @@ type Package struct {
 	Sources map[string][]byte
 	Types   *types.Package
 	Info    *types.Info
+	// FactsOnly marks an in-module dependency of the packages matching
+	// the load patterns: it is analyzed only so fact-exporting analyzers
+	// can summarize it for its dependents; its diagnostics are discarded.
+	FactsOnly bool
+	// ExportFile is the compiler export data the go command produced for
+	// this package, whose hash fingerprints serialized facts.
+	ExportFile string
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -44,6 +51,13 @@ type listedPackage struct {
 // — stdlib and in-module alike — from the compiler export data the go
 // command just produced. This works fully offline: nothing is fetched, and
 // only the packages under analysis pay source type-checking cost.
+//
+// In-module dependencies of the matched packages are loaded too, marked
+// FactsOnly: fact-exporting analyzers (simtaint) summarize them so their
+// dependents see callee behavior even under a narrow pattern, but they
+// produce no diagnostics. The returned slice is in dependency order —
+// `go list -deps` emits a package only after everything it imports — so a
+// single in-order sweep sees every callee's facts before its callers.
 //
 // Test files are not loaded; the suite's invariants bind shipped
 // simulation code, and `go vet -vettool=flashvet` covers test variants
@@ -75,7 +89,10 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+		// Standard-library deps are never re-analyzed (their behavior is
+		// captured in the analyzers' intrinsic tables); in-module deps
+		// are, facts-only, so summaries exist for narrow patterns.
+		if !p.Standard && len(p.GoFiles) > 0 {
 			targets = append(targets, p)
 		}
 	}
@@ -88,6 +105,8 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		pkg.FactsOnly = t.DepOnly
+		pkg.ExportFile = exports[t.ImportPath]
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, fset, nil
@@ -132,6 +151,7 @@ func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFi
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}

@@ -47,7 +47,7 @@ func inScope(fn *types.Func) bool {
 	}
 	// The last result must be an error for there to be one to lose.
 	res := sig.Results()
-	if res.Len() == 0 || !isErrorType(res.At(res.Len() - 1).Type()) {
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
 		return false
 	}
 	base := path.Base(fn.Pkg().Path())

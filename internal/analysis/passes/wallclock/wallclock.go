@@ -51,10 +51,14 @@ var banned = map[string]bool{
 	"NewTicker": true,
 }
 
-// opsSources are clock sources exported by ops-plane packages: calling
+// OpsSources are clock sources exported by ops-plane packages: calling
 // one from a non-ops-domain package smuggles wall-clock time into
-// simulation code just as surely as time.Now does.
-var opsSources = map[string]map[string]bool{
+// simulation code just as surely as time.Now does. Exported because
+// simtaint seeds its wallclock taint from exactly this set — the
+// syntactic ban here catches direct calls, and the taint analysis
+// catches the value flowing onward through returns, fields, and
+// channels; the two must agree on what a source is.
+var OpsSources = map[string]map[string]bool{
 	"flashwear/internal/obs":      {"WallNow": true},
 	"flashwear/internal/runtrace": {"Totals": true, "Snapshot": true},
 }
@@ -89,7 +93,7 @@ func run(pass *analysis.Pass) error {
 		switch {
 		case fn.Pkg().Path() == "time" && banned[fn.Name()]:
 			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code: use the injected simclock.Clock", fn.Name())
-		case opsSources[fn.Pkg().Path()][fn.Name()]:
+		case OpsSources[fn.Pkg().Path()][fn.Name()]:
 			pass.Reportf(sel.Pos(), "ops-plane clock source %s.%s in simulation code: only //flashvet:ops-domain packages may read host time", fn.Pkg().Name(), fn.Name())
 		}
 		return true

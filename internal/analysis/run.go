@@ -29,7 +29,19 @@ const FrameworkName = "flashvet"
 // the simulator). When checkUnusedIgnores is set — the right mode whenever
 // the full suite runs — valid directives that suppressed nothing are
 // reported too, so waivers die with the code they excused.
+//
+// Facts flow through a fresh store: pkgs is in dependency order (Load
+// guarantees it), so each fact-exporting analyzer sees its dependencies'
+// summaries before analyzing a dependent. Callers that seed or inspect
+// the store (vet-tool mode, the facts tests) use RunFacts directly.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, checkUnusedIgnores bool) ([]Finding, error) {
+	return RunFacts(fset, pkgs, analyzers, checkUnusedIgnores, NewFactStore())
+}
+
+// RunFacts is Run with an explicit fact store, which may hold facts
+// decoded from dependency fact files and accumulates every fact exported
+// during this run.
+func RunFacts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, checkUnusedIgnores bool, facts *FactStore) ([]Finding, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -37,6 +49,29 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, checkUnuse
 
 	var findings []Finding
 	for _, pkg := range pkgs {
+		if pkg.FactsOnly {
+			// A dependency visited only for its summaries: run just the
+			// fact-exporting analyzers and drop whatever they report.
+			for _, a := range analyzers {
+				if !a.UsesFacts() {
+					continue
+				}
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					FactsOnly: true,
+					facts:     facts,
+					report:    func(Diagnostic) {},
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				}
+			}
+			continue
+		}
 		dirs := collectDirectives(fset, pkg.Files, pkg.Sources, known)
 		for _, d := range dirs {
 			if d.problem != "" {
@@ -54,6 +89,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, checkUnuse
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				facts:     facts,
 			}
 			var diags []Diagnostic
 			pass.report = func(d Diagnostic) { diags = append(diags, d) }

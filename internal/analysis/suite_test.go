@@ -13,8 +13,10 @@ import (
 	"flashwear/internal/analysis/flashvet"
 	"flashwear/internal/analysis/passes/floataccum"
 	"flashwear/internal/analysis/passes/globalrand"
+	"flashwear/internal/analysis/passes/locksafe"
 	"flashwear/internal/analysis/passes/maporder"
 	"flashwear/internal/analysis/passes/opserrcheck"
+	"flashwear/internal/analysis/passes/simtaint"
 	"flashwear/internal/analysis/passes/wallclock"
 )
 
@@ -66,6 +68,24 @@ func TestFloataccumFixture(t *testing.T) {
 
 func TestOpserrcheckFixture(t *testing.T) {
 	checktest.Run(t, "./testdata/src/opserrcheck", opserrcheck.Analyzer)
+}
+
+// TestLocksafeFixture covers both locksafe hazards (lock copies,
+// blocking under a held mutex) and the sanctioned shapes that must stay
+// silent: release-before-block, select with default, goroutines launched
+// under a lock, Cond.Wait, mutexed file fsync.
+func TestLocksafeFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/locksafe", locksafe.Analyzer)
+}
+
+// TestSimtaintFixture is the cross-package laundering suite: the sim
+// package contains no banned call at all — taint arrives from the ops
+// package purely through exported facts, and flows through struct
+// fields, closures, channels, generics, and fmt before hitting declared
+// sinks. Loading only ./sim forces ops through the facts-only path, so
+// this test exercises the whole summary pipeline, not just the walker.
+func TestSimtaintFixture(t *testing.T) {
+	checktest.Run(t, "./testdata/src/simtaint/sim", simtaint.Analyzer)
 }
 
 // TestIgnoreFixture pins the directive grammar itself: both waiver forms,

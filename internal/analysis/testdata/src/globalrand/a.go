@@ -6,9 +6,9 @@ package a
 import "math/rand"
 
 func draw(r *rand.Rand) int {
-	n := rand.Intn(6)                    // want `global rand\.Intn`
-	rand.Shuffle(n, func(i, j int) {})   // want `global rand\.Shuffle`
-	_ = rand.Float64()                   // want `global rand\.Float64`
+	n := rand.Intn(6)                   // want `global rand\.Intn`
+	rand.Shuffle(n, func(i, j int) {})  // want `global rand\.Shuffle`
+	_ = rand.Float64()                  // want `global rand\.Float64`
 	return n + r.Intn(6) + r.Perm(3)[0] // ok: injected source
 }
 

@@ -1,0 +1,48 @@
+// Package ops plays the ops plane for the simtaint fixtures: legally
+// reading host state under an ops-domain declaration, then leaking it
+// through perfectly ordinary return values. No finding fires here — the
+// summaries exported for Stamp/Jitter/Where are the whole payload.
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+//flashvet:ops-domain fixture: host telemetry whose summaries must carry taint to consumers
+
+// Stamp returns the host wall-clock; its summary must say so.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the global math/rand source.
+func Jitter() int { return rand.Intn(100) }
+
+// Where reads the process environment.
+func Where() string { return os.Getenv("FLASHWEAR_CELL") }
+
+// Pair launders Stamp through a second return slot and a struct.
+type Pair struct {
+	Label string
+	When  int64
+}
+
+// Tagged returns (label, host time): result 1 is tainted, result 0 is a
+// pure function of the parameter.
+func Tagged(label string) (string, int64) {
+	return label, Stamp()
+}
+
+// Via is a cross-package generic pass-through: its summary is keyed by
+// the origin, so every downstream instantiation shares one ParamFlow.
+func Via[T any](v T) T { return v }
+
+// Flush returns an error that embeds host time — errors are diagnostics,
+// so the taint must NOT survive into callers that propagate err.
+func Flush() error {
+	if Stamp()%2 == 0 {
+		return fmt.Errorf("flush at %d", Stamp())
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package sim launders nondeterminism through data flow the syntactic
+// analyzers (wallclock, globalrand, maporder) provably cannot see: no
+// banned call appears in this file at all, yet every labelled path must
+// end in a simtaint finding at the sink. The clean idioms at the bottom
+// pin the analysis's precision: spec-derived values, sorted map
+// collections, and ops-data that never reaches a sink stay silent.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"flashwear/internal/analysis/testdata/src/simtaint/ops"
+)
+
+var persisted []int64
+var persistedNames []string
+
+// record appends v to the fixture's pretend snapshot.
+//
+//flashvet:sim-sink fixture snapshot record
+func record(v int64) { persisted = append(persisted, v) }
+
+// recordAll persists a batch, order and all.
+//
+//flashvet:sim-sink fixture snapshot batch
+func recordAll(vs []string) { persistedNames = append(persistedNames, vs...) }
+
+// journal forwards to record: its callers are sinks transitively, with
+// no directive of their own.
+func journal(v int64) { record(v) }
+
+// CrossPackageReturn is the case the wallclock pass provably misses:
+// time.Now never appears in this package, only its value does.
+func CrossPackageReturn() {
+	t := ops.Stamp()
+	record(t) // want `wallclock \(from time\.Now\) value flows into sim-persistent sink record \(fixture snapshot record\)`
+}
+
+// StructField launders the value through a field write and read-back.
+func StructField() {
+	type state struct {
+		when int64
+		seq  int
+	}
+	var s state
+	s.when = ops.Stamp()
+	s.seq++
+	record(s.when) // want `wallclock .* sink record`
+}
+
+// Closure launders the value through a captured variable.
+func Closure() {
+	now := ops.Stamp()
+	get := func() int64 { return now }
+	record(get()) // want `wallclock .* sink record`
+}
+
+// Channel launders the value through a buffered channel.
+func Channel() {
+	ch := make(chan int64, 1)
+	ch <- ops.Stamp()
+	record(<-ch) // want `wallclock .* sink record`
+}
+
+// Transitive reaches the sink through journal, which carries the sink
+// property in its summary rather than a directive.
+func Transitive() {
+	journal(ops.Stamp()) // want `wallclock .* sink journal \(fixture snapshot record\)`
+}
+
+// identity is the generics laundering path: the summary is computed once
+// for the origin and applies to every instantiation.
+func identity[T any](v T) T { return v }
+
+// Generic launders the value through a type-parameterized call.
+func Generic() {
+	record(identity(ops.Stamp())) // want `wallclock .* sink record`
+}
+
+// GenericCrossPackage launders the value through a generic declared in a
+// different package: the imported summary for ops.Via's origin must carry
+// the parameter flow for every instantiation.
+func GenericCrossPackage() {
+	record(ops.Via(ops.Stamp())) // want `wallclock .* sink record`
+}
+
+// Formatted launders the value through an unknown external (fmt.Sprintf):
+// conservative propagation keeps the taint.
+func Formatted() {
+	recordAll([]string{fmt.Sprintf("t=%d", ops.Stamp())}) // want `wallclock .* sink recordAll`
+}
+
+// SecondResult pins per-result precision: only result 1 of ops.Tagged is
+// tainted, so persisting result 0 is clean and result 1 is not.
+func SecondResult() {
+	label, when := ops.Tagged("cell-7")
+	recordAll([]string{label})
+	record(when) // want `wallclock .* sink record`
+}
+
+// RandAndEnv cover the other taint kinds end to end.
+func RandAndEnv() {
+	record(int64(ops.Jitter()))      // want `rand \(from rand\.Intn\) value flows into sim-persistent sink record`
+	recordAll([]string{ops.Where()}) // want `hostenv \(from os\.Getenv\) value flows into sim-persistent sink recordAll`
+}
+
+// MapOrder grows a slice under map iteration and persists it unsorted.
+func MapOrder(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	recordAll(keys) // want `maporder \(from range over map\) value flows into sim-persistent sink recordAll`
+}
+
+// KeyedRebuild deep-copies a map into a map keyed by the range key —
+// the appends build fresh per-key values, not an iteration-ordered
+// slice, so content is order-independent and persisting a value derived
+// from it is clean.
+func KeyedRebuild(src map[string][]byte) {
+	dst := make(map[string][]byte, len(src))
+	var total int64
+	for k, v := range src {
+		dst[k] = append([]byte(nil), v...)
+		total += int64(len(dst[k]))
+	}
+	record(total)
+}
+
+// HandleConfig writes host data into an ops-plane object — the
+// sanctioned sim→ops direction; the handle does not become sim-tainted.
+func HandleConfig(p *ops.Pair) {
+	p.When = ops.Stamp()
+	record(int64(len(p.Label)))
+}
+
+// ErrorPropagation persists an error's text. Errors are host
+// diagnostics, not sim data — their producer's taint is cleared: clean.
+func ErrorPropagation() {
+	if err := ops.Flush(); err != nil {
+		recordAll([]string{err.Error()})
+	}
+}
+
+// Sorted is the sanctioned collect-sort-persist idiom: clean.
+func Sorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recordAll(keys)
+}
+
+// SpecDriven persists values computed from parameters only: clean.
+func SpecDriven(seed int64, name string) {
+	record(seed * 2)
+	recordAll([]string{name})
+}
+
+// OpsDataUnsunk reads host state but never persists it: clean — simtaint
+// bans flows into sinks, not possession.
+func OpsDataUnsunk() string {
+	return fmt.Sprintf("observed at %d", ops.Stamp())
+}
+
+// Waived shows a reviewed flow silenced like any other finding.
+func Waived() {
+	record(ops.Stamp()) //flashvet:ignore simtaint fixture: display-only echo of ops data, reviewed
+}
+
+//flashvet:sim-sink
+func BadSink(v int64) { persisted = append(persisted, v) } // want `flashvet:sim-sink declaration has no description`

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
+	"strings"
 )
 
 // VetConfig mirrors the JSON config cmd/go hands a -vettool for each
@@ -39,6 +41,15 @@ type VetConfig struct {
 // at cfgPath and returns the process exit code: 0 clean, 1 internal
 // failure, 2 findings. checkUnusedIgnores should be set only when the
 // full suite runs (see flashvet.Main).
+//
+// Facts ride the protocol's vetx channel: dependency fact files arrive in
+// PackageVetx, and this package's exported facts are written to
+// VetxOutput. On a VetxOnly visit — cmd/go's "I only need this package's
+// facts" call for a dependency — the fact-exporting analyzers still run
+// (for in-module packages), but nothing is reported. Staleness is cmd/go's
+// problem in this mode: vetx files are content-addressed by the build, so
+// a stale one is never handed to us, and DecodeFacts runs fingerprint-
+// unchecked.
 func RunVetTool(analyzers []*Analyzer, cfgPath string, checkUnusedIgnores bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -50,18 +61,49 @@ func RunVetTool(analyzers []*Analyzer, cfgPath string, checkUnusedIgnores bool) 
 		fmt.Fprintf(os.Stderr, "flashvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// Flashvet analyzers produce no facts, but the go command caches the
-	// vetx output to decide whether the run completed; write it first so
-	// even a clean package leaves the expected artifact.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("flashvet: no facts\n"), 0o666); err != nil {
+
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	facts := NewFactStore()
+	// Sorted for determinism; a file that fails to decode (old tool
+	// version, foreign format) contributes nothing, and the analyzers
+	// fall back to conservative assumptions about those callees.
+	for _, dep := range sortedKeys(cfg.PackageVetx) {
+		if raw, err := os.ReadFile(cfg.PackageVetx[dep]); err == nil {
+			_ = facts.DecodeFacts(raw, "")
+		}
+	}
+
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		out, err := facts.EncodeFacts(cfg.ImportPath, "")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, out, 0o666)
+	}
+
+	if cfg.VetxOnly {
+		// Dependency-only visit: compute facts if the package is ours
+		// (stdlib behavior is baked into the analyzers' intrinsic
+		// tables), report nothing.
+		if inModule {
+			fset := token.NewFileSet()
+			imp := exportImporter(fset, vetExports(cfg))
+			if pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles); err == nil {
+				pkg.FactsOnly = true
+				if _, err := RunFacts(fset, []*Package{pkg}, analyzers, false, facts); err != nil {
+					fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+					return 1
+				}
+			}
+		}
+		if err := writeFacts(); err != nil {
 			fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency-only visit: nothing to report, and (having no facts)
-		// nothing to compute either.
 		return 0
 	}
 
@@ -75,8 +117,12 @@ func RunVetTool(analyzers []*Analyzer, cfgPath string, checkUnusedIgnores bool) 
 		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
 		return 1
 	}
-	findings, err := Run(fset, []*Package{pkg}, analyzers, checkUnusedIgnores)
+	findings, err := RunFacts(fset, []*Package{pkg}, analyzers, checkUnusedIgnores, facts)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
+		return 1
+	}
+	if err := writeFacts(); err != nil {
 		fmt.Fprintf(os.Stderr, "flashvet: %v\n", err)
 		return 1
 	}
@@ -87,6 +133,15 @@ func RunVetTool(analyzers []*Analyzer, cfgPath string, checkUnusedIgnores bool) 
 		return 2
 	}
 	return 0
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // vetExports adapts the config's import-path remapping and export-data

@@ -81,7 +81,9 @@ func (p Plan) After(start time.Duration) Plan {
 // Validate reports the first invalid field.
 func (p Plan) Validate() error {
 	check := func(name string, v float64) error {
-		if v < 0 || v > 1 {
+		// The inverted form also rejects NaN, which compares false
+		// against every bound and would otherwise slip through.
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("faultinject: %s = %g, want [0,1]", name, v)
 		}
 		return nil

@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan drives the CLI plan grammar with arbitrary input. Three
+// properties must hold for every input: the parser never panics, a plan
+// it accepts also passes Validate (the parser may not hand the injector
+// a plan Validate would reject), and parsing is deterministic.
+func FuzzParsePlan(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"seed=7,read=1e-4,program=1e-5,erase=1e-5",
+		"cut-every=100000,cut-at=250000;700000,cut-time=24h;240h",
+		"read=0.5",
+		"cut-at=1",
+		"cut-at=1;2;3,cut-at=4",
+		"seed=-1",
+		"read=1e-4,read=1e-6",
+		"bogus=1",
+		"read=",
+		"=x",
+		",,,",
+		"cut-time=1h;bogus",
+		"read=2",   // probability out of range
+		"cut-at=0", // boundary: entries must be > 0
+		"seed=9223372036854775807",
+		"read=NaN", // NaN compares false against every bound; Validate must still reject it
+		"program=+Inf",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan Validate rejects: %v", s, verr)
+		}
+		q, err2 := ParsePlan(s)
+		if err2 != nil {
+			t.Fatalf("ParsePlan(%q) not deterministic: nil error then %v", s, err2)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("ParsePlan(%q) not deterministic: %+v vs %+v", s, p, q)
+		}
+	})
+}

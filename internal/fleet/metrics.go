@@ -88,6 +88,7 @@ func (m *MetricsSeries) addDevice(rows [][]int64) {
 	}
 }
 
+//flashvet:sim-sink fleet metrics series
 func (m *MetricsSeries) merge(o *MetricsSeries) error {
 	if o == nil {
 		return nil

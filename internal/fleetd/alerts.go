@@ -31,6 +31,7 @@ type alertEvent struct {
 	detail string
 }
 
+//flashvet:sim-sink deterministic alert emission
 func (a alertEvent) event() obs.Event {
 	return obs.Event{Type: a.typ, Sim: true, Day: a.day, Rule: a.rule, Value: a.value, Detail: a.detail}
 }
@@ -144,6 +145,8 @@ func (a *alertState) seed(events []obs.Event) {
 // findings in deterministic order (day-major, then rule table order,
 // then milestones), marking them fired. rows is the full committed
 // series so edge detection sees day d-1 even across epoch boundaries.
+//
+//flashvet:sim-sink fleet-health alert evaluation
 func (a *alertState) scan(rows [][]int64, devices int64) []alertEvent {
 	var out []alertEvent
 	emit := func(ev alertEvent) {
@@ -169,16 +172,16 @@ func (a *alertState) scan(rows [][]int64, devices int64) []alertEvent {
 		for _, n := range brickCountMilestones {
 			if bricked >= n && prev < n {
 				emit(alertEvent{typ: "brick_milestone", day: d + 1,
-					rule: fmt.Sprintf("count_%d", n),
-					value: fmt.Sprintf("%d/%d", bricked, devices),
+					rule:   fmt.Sprintf("count_%d", n),
+					value:  fmt.Sprintf("%d/%d", bricked, devices),
 					detail: fmt.Sprintf("cumulative bricked devices reached %d", n)})
 			}
 		}
 		for _, p := range brickPctMilestones {
 			if bricked*100 >= devices*p && prev*100 < devices*p {
 				emit(alertEvent{typ: "brick_milestone", day: d + 1,
-					rule: fmt.Sprintf("pct_%d", p),
-					value: fmt.Sprintf("%d/%d", bricked, devices),
+					rule:   fmt.Sprintf("pct_%d", p),
+					value:  fmt.Sprintf("%d/%d", bricked, devices),
 					detail: fmt.Sprintf("cumulative bricked devices reached %d%% of the fleet", p)})
 			}
 		}

@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -265,10 +266,14 @@ func (r *ckptReader) frame() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrCheckpointCorrupt, typ)
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r.br, payload); err != nil {
+	// Read incrementally rather than pre-allocating n bytes: a corrupt
+	// length prefix in a short file must not drive a 4 GiB allocation
+	// before ReadFull can notice the file ends early.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r.br, int64(n)); err != nil {
 		return 0, nil, fmt.Errorf("%w: short frame payload", ErrCheckpointTruncated)
 	}
+	payload := buf.Bytes()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: short frame checksum", ErrCheckpointTruncated)

@@ -96,12 +96,28 @@ type epochFooter struct {
 // order- or history-dependent.
 type enc struct{ b []byte }
 
-func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
-func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
-func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
-func (e *enc) i32(v int32)   { e.u32(uint32(v)) }
-func (e *enc) i64(v int64)   { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+// The primitives below are simtaint root sinks: every byte of a
+// checkpoint must be a pure function of the campaign Spec, or resumed
+// runs diverge from fresh ones. i32 and bool inherit the sink property
+// transitively through u32/u8, so they carry no directive of their own.
+
+//flashvet:sim-sink checkpoint frame bytes
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+
+//flashvet:sim-sink checkpoint frame bytes
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+
+//flashvet:sim-sink checkpoint frame bytes
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+func (e *enc) i32(v int32) { e.u32(uint32(v)) }
+
+//flashvet:sim-sink checkpoint frame bytes
+func (e *enc) i64(v int64) { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+
+//flashvet:sim-sink checkpoint frame bytes
 func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+
 func (e *enc) bool(v bool) {
 	if v {
 		e.u8(1)
@@ -109,10 +125,14 @@ func (e *enc) bool(v bool) {
 		e.u8(0)
 	}
 }
+
+//flashvet:sim-sink checkpoint frame bytes
 func (e *enc) str(s string) {
 	e.u32(uint32(len(s)))
 	e.b = append(e.b, s...)
 }
+
+//flashvet:sim-sink checkpoint frame bytes
 func (e *enc) raw(p []byte) { e.b = append(e.b, p...) }
 
 // dec consumes a frame payload. Overruns latch bad instead of panicking;
@@ -238,6 +258,21 @@ func (d *dec) geometry() nand.Geometry {
 	return g
 }
 
+// geometrySane caps a decoded geometry against resource exhaustion: a
+// frame that passes its CRC can still carry a hostile or drifted
+// geometry, and the chip-state decode allocates PageSize bytes per
+// zero-marked page before done() gets a chance to reject the frame. The
+// caps sit far above any simulated chip, so a genuine state never trips
+// them.
+func geometrySane(g nand.Geometry) bool {
+	return g.Dies > 0 && g.Dies <= 1<<10 &&
+		g.PlanesPerDie > 0 && g.PlanesPerDie <= 1<<10 &&
+		g.BlocksPerPlane > 0 && g.BlocksPerPlane <= 1<<20 &&
+		g.PagesPerBlock > 0 && g.PagesPerBlock <= 1<<16 &&
+		g.PageSize > 0 && g.PageSize <= 1<<20 &&
+		g.SpareSize >= 0 && g.SpareSize <= 1<<16
+}
+
 func (e *enc) nandStats(s nand.Stats) {
 	e.i64(s.Programs)
 	e.i64(s.Reads)
@@ -320,12 +355,22 @@ func (e *enc) chipState(st *nand.ChipState) {
 
 func (d *dec) chipState() *nand.ChipState {
 	st := &nand.ChipState{Geometry: d.geometry(), Stats: d.nandStats()}
-	pageSize := st.Geometry.PageSize
-	if d.bad || pageSize <= 0 {
+	g := st.Geometry
+	if d.bad || !geometrySane(g) {
 		d.bad = true
 		return st
 	}
 	nb := d.count(8)
+	if nb > g.Dies*g.PlanesPerDie*g.BlocksPerPlane {
+		d.bad = true
+		return st
+	}
+	// All zero-marked pages share one all-zero slice: the zero-page flag
+	// costs one input byte but claims PageSize bytes, and a hostile frame
+	// could otherwise multiply a small payload into an arbitrarily large
+	// allocation. Safe to alias — the decoded state is read-only to every
+	// consumer (ImportState deep-copies it in, the encoder only reads it).
+	var zero []byte
 	st.Blocks = make([]nand.BlockState, nb)
 	for i := 0; i < nb && !d.bad; i++ {
 		b := &st.Blocks[i]
@@ -339,6 +384,10 @@ func (d *dec) chipState() *nand.ChipState {
 		b.Reads = d.i64()
 		if d.bool() {
 			nm := d.count(14)
+			if nm > g.PagesPerBlock {
+				d.bad = true
+				return st
+			}
 			b.Meta = make([]nand.OOB, nm)
 			for j := 0; j < nm && !d.bad; j++ {
 				b.Meta[j].LP = d.i32()
@@ -347,15 +396,26 @@ func (d *dec) chipState() *nand.ChipState {
 			}
 		}
 		np := d.count(5)
+		if np > g.PagesPerBlock {
+			d.bad = true
+			return st
+		}
 		if np > 0 {
 			b.Data = make(map[int][]byte, np)
 		}
 		for j := 0; j < np && !d.bad; j++ {
 			pg := int(d.u32())
+			if pg < 0 || pg >= g.PagesPerBlock {
+				d.bad = true
+				return st
+			}
 			if d.bool() {
-				b.Data[pg] = make([]byte, pageSize)
+				if zero == nil {
+					zero = make([]byte, g.PageSize)
+				}
+				b.Data[pg] = zero
 			} else {
-				b.Data[pg] = append([]byte(nil), d.take(pageSize)...)
+				b.Data[pg] = append([]byte(nil), d.take(g.PageSize)...)
 			}
 		}
 	}

@@ -97,7 +97,8 @@ func (p Plan) Validate() error {
 		if c.Fault == FaultTorn && c.On != OpWrite {
 			return at("fault torn requires on=write (got on=%s)", c.On)
 		}
-		if c.Prob < 0 || c.Prob > 1 {
+		// Inverted so NaN (false against every bound) is rejected too.
+		if !(c.Prob >= 0 && c.Prob <= 1) {
 			return at("p = %g, want [0,1]", c.Prob)
 		}
 		for _, n := range c.At {

@@ -1,0 +1,52 @@
+package hostio
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan drives the host-fault plan grammar with arbitrary input.
+// The parser must never panic, must only accept plans Validate accepts,
+// and must be deterministic.
+func FuzzParsePlan(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"class=checkpoint,fault=enospc,on=write,from=3,until=40",
+		"class=journal,fault=eio,on=sync,at=2;5|class=checkpoint,fault=torn,p=0.05,seed=9",
+		"fault=enospc,every=10",
+		"fault=eio,at=1",
+		"fault=eio,at=1;2,at=3",
+		"fault=rename,on=rename,p=1",
+		"fault=torn,p=0.5,seed=3",
+		"fault=eio", // no trigger
+		"class=bogus,fault=eio,at=1",
+		"fault=bogus,at=1",
+		"fault=eio,on=bogus,at=1",
+		"fault=eio,from=5,until=3", // empty window
+		"fault=eio,p=2",
+		"seed=1,fault=eio,at=1|seed=2,fault=eio,at=2", // duplicate global seed
+		"|",
+		"=",
+		",",
+		"fault=eio,at=",
+		"fault=torn,p=NaN,seed=1", // NaN compares false against every bound; Validate must still reject it
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan Validate rejects: %v", s, verr)
+		}
+		q, err2 := ParsePlan(s)
+		if err2 != nil {
+			t.Fatalf("ParsePlan(%q) not deterministic: nil error then %v", s, err2)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("ParsePlan(%q) not deterministic: %+v vs %+v", s, p, q)
+		}
+	})
+}

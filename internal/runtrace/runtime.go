@@ -47,7 +47,9 @@ func RegisterRuntimeGauges(r *obs.Registry, prefix string) {
 		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapSys) }) })
 	r.GaugeFunc(prefix+"_runtime_gc_pause_seconds_total",
 		"Cumulative stop-the-world GC pause time, seconds.",
-		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }) })
+		func() float64 {
+			return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 })
+		})
 	r.GaugeFunc(prefix+"_runtime_gc_cycles_total",
 		"Completed GC cycles (runtime.MemStats.NumGC).",
 		func() float64 { return s.read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }) })
